@@ -1,0 +1,235 @@
+// Package-level benchmarks: one testing.B benchmark per table/figure of the
+// paper, so `go test -bench=.` regenerates every result at a bench-sized
+// horizon and reports simulator throughput. The figure data itself is
+// printed once per benchmark via b.Logf on the first iteration; full-scale
+// numbers come from cmd/slipbench (see EXPERIMENTS.md).
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hier"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// benchOpts returns suite options sized for benchmarking: small enough to
+// iterate, large enough that the sampling machinery activates.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Accesses:   300_000,
+		Warmup:     500_000,
+		Seed:       7,
+		Benchmarks: []string{"soplex", "milc", "sphinx3"},
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw accesses/second through the
+// full SLIP system (the cost of Table 1's machinery per reference).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, _ := workloads.ByName("soplex")
+	sys := hier.New(hier.Config{Policy: hier.SLIPABP, Seed: 1})
+	src := spec.Build(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _ := src.Next()
+		sys.Access(0, a)
+	}
+}
+
+// BenchmarkEOUOptimize measures one Energy Optimizer Unit operation
+// (compare with the 1.27 pJ / 2-cycle hardware unit of Section 5).
+func BenchmarkEOUOptimize(b *testing.B) {
+	eou, err := core.NewEOU(core.LevelGeom{
+		SublevelWays:  []int{4, 4, 8},
+		SublevelLines: []uint64{1024, 1024, 2048},
+		SublevelPJ:    []float64{21, 33, 50},
+		NextLevelPJ:   136,
+	}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := core.Dist{Bins: [core.NumBins]uint8{3, 1, 2, 9}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eou.Optimize(&d)
+	}
+}
+
+// BenchmarkFig1 regenerates the reuse-count breakdown of Figure 1.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{
+			Accesses: 300_000, Warmup: 300_000, Seed: 7,
+			Benchmarks: []string{"soplex", "omnetpp"},
+		})
+		res := s.Fig1()
+		if i == 0 {
+			b.Logf("Fig1 average NR fractions: %.2f/%.2f/%.2f/%.2f",
+				res.Average[0], res.Average[1], res.Average[2], res.Average[3])
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the soplex reuse-distance classes of Figure 3.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{
+			Accesses: 400_000, Warmup: 0, WarmupSet: true, Seed: 7,
+			Benchmarks: []string{"soplex"},
+		})
+		s.Fig3()
+	}
+}
+
+// BenchmarkTable2 regenerates the Table 2 energy parameters from the wire
+// model.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{Benchmarks: []string{"milc"}})
+		if res := s.Table2(); res.MaxRelErr > 0.03 {
+			b.Fatalf("Table 2 deviation %.2f%%", 100*res.MaxRelErr)
+		}
+	}
+}
+
+// BenchmarkHTree regenerates the Section 2.1 H-tree comparison.
+func BenchmarkHTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{
+			Accesses: 200_000, Warmup: 200_000, Seed: 7,
+			Benchmarks: []string{"milc"},
+		})
+		res := s.HTree()
+		if i == 0 {
+			b.Logf("H-tree overhead: L2 +%.0f%%, L3 +%.0f%%", res.L2OverheadPct, res.L3OverheadPct)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the L2/L3 energy savings comparison.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		res := s.Fig9()
+		if i == 0 {
+			b.Logf("Fig9 avg savings: SLIP %.1f%%/%.1f%%, SLIP+ABP %.1f%%/%.1f%%",
+				res.AvgL2[hier.SLIP], res.AvgL3[hier.SLIP],
+				res.AvgL2[hier.SLIPABP], res.AvgL3[hier.SLIPABP])
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates the full-system savings of Figure 10.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		s.Fig10()
+	}
+}
+
+// BenchmarkFig11 regenerates the access/movement breakdown of Figure 11.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		s.Fig11()
+	}
+}
+
+// BenchmarkFig12 regenerates the relative miss traffic of Figure 12.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		s.Fig12()
+	}
+}
+
+// BenchmarkFig13 regenerates the speedups of Figure 13.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		s.Fig13()
+	}
+}
+
+// BenchmarkFig14 regenerates the insertion-class breakdown of Figure 14.
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		s.Fig14()
+	}
+}
+
+// BenchmarkFig15 regenerates the sublevel access fractions of Figure 15.
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		s.Fig15()
+	}
+}
+
+// BenchmarkFig16 regenerates the multiprogrammed study of Figure 16.
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{
+			Accesses: 150_000, Warmup: 250_000, Seed: 7,
+		})
+		res := s.Fig16()
+		if i == 0 {
+			b.Logf("Fig16 avg: L3 %.1f%%, L2+L3 %.1f%%, DRAM %.1f%%",
+				res.AvgL3, res.AvgL2L3, res.AvgDRAM)
+		}
+	}
+}
+
+// BenchmarkTech22 regenerates the 22nm scaling study.
+func BenchmarkTech22(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{
+			Accesses: 300_000, Warmup: 500_000, Seed: 7,
+			Benchmarks: []string{"soplex", "milc"},
+		})
+		s.Tech22()
+	}
+}
+
+// BenchmarkBinWidth regenerates the distribution-accuracy sensitivity study.
+func BenchmarkBinWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{
+			Accesses: 200_000, Warmup: 300_000, Seed: 7,
+			Benchmarks: []string{"soplex"},
+		})
+		s.BinWidth()
+	}
+}
+
+// BenchmarkSampling regenerates the Section 4.2 sampling-traffic study.
+func BenchmarkSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{
+			Accesses: 200_000, Warmup: 300_000, Seed: 7,
+			Benchmarks: []string{"xalancbmk"},
+		})
+		s.Sampling()
+	}
+}
+
+// BenchmarkRRIPAblation compares LRU against the Section 7 SRRIP extension
+// as SLIP's underlying replacement policy — the design-choice ablation
+// called out in DESIGN.md.
+func BenchmarkRRIPAblation(b *testing.B) {
+	spec, _ := workloads.ByName("soplex")
+	for i := 0; i < b.N; i++ {
+		for _, rrip := range []bool{false, true} {
+			sys := hier.New(hier.Config{Policy: hier.SLIPABP, Seed: 7, UseRRIP: rrip})
+			sys.Run(trace.Limit(spec.Build(7), 300_000))
+			if i == 0 {
+				b.Logf("rrip=%v: L2 energy %.1f uJ, L2 hits %d",
+					rrip, sys.L2TotalPJ()/1e6, sys.L2(0).Stats.Hits.Value())
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command slipbench regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports; see DESIGN.md
+// for the experiment index and EXPERIMENTS.md for paper-vs-measured.
+//
+// Usage:
+//
+//	slipbench [-exp all|fig1,fig3,table2,htree,fig9,...] [-accesses N]
+//	          [-seed N] [-benchmarks a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiments: fig1,fig3,table2,htree,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,tech22,binwidth,sampling")
+		acc     = flag.Uint64("accesses", 2_000_000, "measured accesses per benchmark")
+		warmup  = flag.Int64("warmup", -1, "warmup accesses before measurement (-1 = same as -accesses)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if err := workloads.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := experiments.Options{Accesses: *acc, Seed: *seed, Out: os.Stdout}
+	if *warmup >= 0 {
+		opts.Warmup = uint64(*warmup)
+		opts.WarmupSet = true
+	}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+		for _, b := range opts.Benchmarks {
+			if _, ok := workloads.ByName(b); !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", b)
+				os.Exit(1)
+			}
+		}
+	}
+	suite := experiments.NewSuite(opts)
+
+	runners := map[string]func(){
+		"fig1":     func() { suite.Fig1() },
+		"fig3":     func() { suite.Fig3() },
+		"table2":   func() { suite.Table2() },
+		"htree":    func() { suite.HTree() },
+		"fig9":     func() { suite.Fig9() },
+		"fig10":    func() { suite.Fig10() },
+		"fig11":    func() { suite.Fig11() },
+		"fig12":    func() { suite.Fig12() },
+		"fig13":    func() { suite.Fig13() },
+		"fig14":    func() { suite.Fig14() },
+		"fig15":    func() { suite.Fig15() },
+		"fig16":    func() { suite.Fig16() },
+		"tech22":   func() { suite.Tech22() },
+		"binwidth": func() { suite.BinWidth() },
+		"sampling": func() { suite.Sampling() },
+	}
+	order := []string{"fig1", "fig3", "table2", "htree", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "tech22", "binwidth", "sampling"}
+
+	var names []string
+	if *exp == "all" {
+		names = order
+	} else {
+		names = strings.Split(*exp, ",")
+	}
+	for _, n := range names {
+		run, ok := runners[strings.TrimSpace(n)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", n)
+			os.Exit(1)
+		}
+		start := time.Now()
+		run()
+		fmt.Printf("[%s done in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,189 @@
+// Command slipsim runs one workload under one policy and prints a detailed
+// report: hit rates, per-sublevel access fractions, energy breakdown,
+// traffic and timing. It is the single-run companion to slipbench.
+//
+// Usage:
+//
+//	slipsim -workload soplex -policy slip+abp [-accesses N] [-warmup N]
+//	        [-seed N] [-cores 2 -workload2 mcf] [-rrip] [-binbits 4]
+//	slipsim -trace file.trc -policy baseline     # replay a tracegen file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hier"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func parsePolicy(s string) (hier.PolicyKind, error) {
+	switch s {
+	case "baseline":
+		return hier.Baseline, nil
+	case "slip":
+		return hier.SLIP, nil
+	case "slip+abp", "slipabp":
+		return hier.SLIPABP, nil
+	case "nurapid":
+		return hier.NuRAPID, nil
+	case "lru-pea", "lrupea":
+		return hier.LRUPEA, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (baseline|slip|slip+abp|nurapid|lru-pea)", s)
+	}
+}
+
+func main() {
+	var (
+		wl       = flag.String("workload", "soplex", "benchmark name (see slipbench -list)")
+		wl2      = flag.String("workload2", "", "second core's benchmark (with -cores 2)")
+		policyFl = flag.String("policy", "slip+abp", "baseline|slip|slip+abp|nurapid|lru-pea")
+		acc      = flag.Uint64("accesses", 2_000_000, "measured accesses")
+		warm     = flag.Uint64("warmup", 2_000_000, "warmup accesses before stats reset")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		cores    = flag.Int("cores", 1, "number of cores (private L2s, shared L3)")
+		rrip     = flag.Bool("rrip", false, "use SRRIP replacement instead of LRU")
+		binBits  = flag.Uint("binbits", 0, "distribution counter width (0 = default 4)")
+		traceIn  = flag.String("trace", "", "replay a binary trace file instead of a workload")
+	)
+	flag.Parse()
+
+	pol, err := parsePolicy(*policyFl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sys := hier.New(hier.Config{
+		Policy:   pol,
+		NumCores: *cores,
+		Seed:     *seed,
+		UseRRIP:  *rrip,
+		BinBits:  uint8(*binBits),
+	})
+
+	srcFor := func(name string, seed uint64) trace.Source {
+		spec, ok := workloads.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
+			os.Exit(1)
+		}
+		return spec.Build(seed)
+	}
+
+	var srcs []trace.Source
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srcs = []trace.Source{r}
+		if *cores != 1 {
+			fmt.Fprintln(os.Stderr, "-trace replay supports one core")
+			os.Exit(1)
+		}
+	} else {
+		srcs = append(srcs, srcFor(*wl, *seed))
+		for c := 1; c < *cores; c++ {
+			second := *wl2
+			if second == "" {
+				second = *wl
+			}
+			srcs = append(srcs, srcFor(second, *seed+uint64(c)))
+		}
+	}
+
+	if *warm > 0 && *traceIn == "" {
+		warmSrcs := make([]trace.Source, len(srcs))
+		for i, s := range srcs {
+			warmSrcs[i] = trace.Limit(s, *warm)
+		}
+		sys.Run(warmSrcs...)
+		sys.ResetStats()
+	}
+	measured := make([]trace.Source, len(srcs))
+	for i, s := range srcs {
+		measured[i] = trace.Limit(s, *acc)
+	}
+	sys.Run(measured...)
+	report(sys, pol)
+}
+
+func report(sys *hier.System, pol hier.PolicyKind) {
+	cfg := sys.Config()
+	fmt.Printf("policy: %s, cores: %d\n\n", pol, cfg.NumCores)
+
+	tb := stats.NewTable("Per-level summary", "level", "accesses", "hit rate", "access pJ", "movement pJ", "metadata pJ", "total uJ")
+	for c := 0; c < cfg.NumCores; c++ {
+		for _, lvl := range []interface {
+			Name() string
+		}{sys.L1(c), sys.L2(c)} {
+			_ = lvl
+		}
+		l1, l2 := sys.L1(c), sys.L2(c)
+		tb.AddRow(fmt.Sprintf("core%d L1", c),
+			fmt.Sprintf("%d", l1.Stats.Accesses.Value()),
+			fmt.Sprintf("%.1f%%", stats.Pct(float64(l1.Stats.Hits.Value()), float64(l1.Stats.Accesses.Value()))),
+			fmt.Sprintf("%.0f", l1.Stats.AccessPJ.PJ()),
+			fmt.Sprintf("%.0f", l1.Stats.MovementPJ.PJ()),
+			"-",
+			fmt.Sprintf("%.1f", l1.Stats.TotalPJ()/1e6))
+		tb.AddRow(fmt.Sprintf("core%d L2", c),
+			fmt.Sprintf("%d", l2.Stats.Accesses.Value()),
+			fmt.Sprintf("%.1f%%", stats.Pct(float64(l2.Stats.Hits.Value()), float64(l2.Stats.Accesses.Value()))),
+			fmt.Sprintf("%.0f", l2.Stats.AccessPJ.PJ()),
+			fmt.Sprintf("%.0f", l2.Stats.MovementPJ.PJ()),
+			fmt.Sprintf("%.0f", l2.Stats.MetadataPJ.PJ()),
+			fmt.Sprintf("%.1f", l2.Stats.TotalPJ()/1e6))
+	}
+	l3 := sys.L3()
+	tb.AddRow("L3",
+		fmt.Sprintf("%d", l3.Stats.Accesses.Value()),
+		fmt.Sprintf("%.1f%%", stats.Pct(float64(l3.Stats.Hits.Value()), float64(l3.Stats.Accesses.Value()))),
+		fmt.Sprintf("%.0f", l3.Stats.AccessPJ.PJ()),
+		fmt.Sprintf("%.0f", l3.Stats.MovementPJ.PJ()),
+		fmt.Sprintf("%.0f", l3.Stats.MetadataPJ.PJ()),
+		fmt.Sprintf("%.1f", l3.Stats.TotalPJ()/1e6))
+	fmt.Println(tb.String())
+
+	f2 := sys.SublevelHitFractions(2)
+	f3 := sys.SublevelHitFractions(3)
+	fmt.Printf("L2 sublevel hit shares: %.1f%% / %.1f%% / %.1f%%\n", 100*f2[0], 100*f2[1], 100*f2[2])
+	fmt.Printf("L3 sublevel hit shares: %.1f%% / %.1f%% / %.1f%%\n\n", 100*f3[0], 100*f3[1], 100*f3[2])
+
+	if pol.IsSLIP() {
+		cls2 := sys.InsertionClassFractions(2)
+		cls3 := sys.InsertionClassFractions(3)
+		fmt.Printf("L2 insertions: ABP %.1f%%, partial %.1f%%, default %.1f%%, other %.1f%%\n",
+			100*cls2[0], 100*cls2[1], 100*cls2[2], 100*cls2[3])
+		fmt.Printf("L3 insertions: ABP %.1f%%, partial %.1f%%, default %.1f%%, other %.1f%%\n",
+			100*cls3[0], 100*cls3[1], 100*cls3[2], 100*cls3[3])
+		m := sys.MMU(0)
+		fmt.Printf("TLB: %d hits, %d misses; profile fetches %d, writebacks %d; EOU runs %d (%.0f pJ)\n\n",
+			m.Stats.TLBHits.Value(), m.Stats.TLBMisses.Value(),
+			m.Stats.ProfileFetches.Value(), m.Stats.ProfileWrites.Value(),
+			m.Stats.PolicyRecomputs.Value(), sys.EOUPJ)
+	}
+
+	d := sys.DRAM()
+	fmt.Printf("DRAM: %d reads, %d writes, %d metadata transfers, %.1f uJ\n",
+		d.Stats.Reads.Value(), d.Stats.Writes.Value(),
+		d.Stats.MetadataReads.Value()+d.Stats.MetadataWrites.Value(),
+		d.Stats.EnergyPJ.PJ()/1e6)
+	for c := 0; c < cfg.NumCores; c++ {
+		fmt.Printf("core%d: %d instrs, %.0f cycles, IPC %.2f\n",
+			c, sys.Instrs(c), sys.Cycles(c), sys.IPC(c))
+	}
+	fmt.Printf("full-system dynamic energy: %.1f uJ\n", sys.FullSystemPJ()/1e6)
+}

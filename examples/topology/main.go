@@ -1,0 +1,43 @@
+// Topology: explore the CACTI-style wire-energy model of Section 2.1 —
+// how interleaving and interconnect choice create (or destroy) the energy
+// asymmetry SLIP exploits, and how it scales from 45nm to 22nm.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+)
+
+func describe(name string, g *energy.BankGrid) {
+	fmt.Printf("%s (%d x %d banks of 32KB, %s)\n", name, g.Cols, g.Rows, g.Tech.Name)
+	for r := 0; r < g.Rows; r++ {
+		fmt.Printf("  row %d (ways %2d-%2d): %6.1f pJ per access\n",
+			r, r*g.WaysPerRow, (r+1)*g.WaysPerRow-1, g.RowEnergyPJ(r))
+	}
+	sub := g.SublevelEnergyPJ([]int{4, 4, 8})
+	fmt.Printf("  sublevels (4/4/8 ways): %.1f / %.1f / %.1f pJ\n", sub[0], sub[1], sub[2])
+	fmt.Printf("  way-interleaved bus mean:   %6.1f pJ\n", g.MeanWayEnergyPJ())
+	fmt.Printf("  set-interleaved bus (flat): %6.1f pJ\n", g.UniformEnergyPJ(energy.HierBusSetInterleaved))
+	htree := g.UniformEnergyPJ(energy.HTree)
+	fmt.Printf("  H-tree (flat):              %6.1f pJ  (+%.0f%% over way-interleaved)\n\n",
+		htree, 100*(htree/g.MeanWayEnergyPJ()-1))
+}
+
+func main() {
+	describe("L2, 256KB 16-way", energy.L2Grid45())
+	describe("L3, 2MB 16-way", energy.L3Grid45())
+
+	// Technology scaling: bank-internal energy shrinks much faster than
+	// wire energy, so the near/far asymmetry — SLIP's opportunity — grows.
+	l2_45 := energy.L2Grid45()
+	l2_22 := l2_45.WithTech(energy.Tech22())
+	fmt.Printf("far/near energy ratio, L2: %.2fx at 45nm -> %.2fx at 22nm\n",
+		l2_45.RowEnergyPJ(3)/l2_45.RowEnergyPJ(0),
+		l2_22.RowEnergyPJ(3)/l2_22.RowEnergyPJ(0))
+
+	// The derived simulator parameters for a custom configuration.
+	p := energy.ParamsFromGrid(l2_22, []int{4, 4, 8}, []int{4, 6, 8}, 7, 0.6)
+	fmt.Printf("derived 22nm L2 params: baseline %.1f pJ, sublevels %.1f/%.1f/%.1f pJ\n",
+		p.BaselineAccessPJ, p.SublevelPJ[0], p.SublevelPJ[1], p.SublevelPJ[2])
+}

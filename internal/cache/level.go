@@ -1,0 +1,458 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Meta is the 12-bit per-line metadata of Section 4.3: the line's SLIP code
+// for each lower level (3b each, copied alongside the line so evictions
+// never probe the TLB) plus the 6-bit timestamp TL. Sampling marks lines
+// whose page was in the sampling state at insertion.
+type Meta struct {
+	L2Code   uint8
+	L3Code   uint8
+	TL       uint8
+	Sampling bool
+}
+
+// Line is one cache line's state.
+type Line struct {
+	Valid bool
+	Addr  mem.LineAddr
+	Dirty bool
+	Meta  Meta
+	// Reuses counts hits since insertion into this level (for the Figure 1
+	// reuse-number breakdown).
+	Reuses uint32
+	// Demoted marks lines that have been moved to a farther sublevel;
+	// LRU-PEA preferentially evicts such lines.
+	Demoted bool
+}
+
+// Config describes one cache level.
+type Config struct {
+	// Params carries capacity-independent energy/latency constants.
+	Params *energy.LevelParams
+	// Bytes is the level capacity.
+	Bytes uint64
+	// ChargeMetadata enables the 12b-metadata access energy on every hit,
+	// fill and movement (on for SLIP and the NUCA policies, off for the
+	// metadata-free baseline).
+	ChargeMetadata bool
+	// UseRRIP selects SRRIP replacement instead of true LRU (the Section 7
+	// extension).
+	UseRRIP bool
+	// MovementQueueCap overrides the 16-entry default when positive.
+	MovementQueueCap int
+}
+
+// Stats aggregates the per-level accounting every experiment reads.
+type Stats struct {
+	Accesses   stats.Counter
+	Hits       stats.Counter
+	Misses     stats.Counter
+	Fills      stats.Counter
+	Bypasses   stats.Counter
+	Movements  stats.Counter
+	Evictions  stats.Counter
+	Writebacks stats.Counter
+
+	// HitsPerSublevel feeds the Figure 15 access-fraction breakdown.
+	HitsPerSublevel []uint64
+
+	// AccessPJ is hit-servicing read energy (Figure 11 "access").
+	AccessPJ stats.Energy
+	// MovementPJ covers inter-sublevel movements, insertions and writeback
+	// reads (Figure 11 "movement").
+	MovementPJ stats.Energy
+	// MetadataPJ is the 12b metadata and movement-queue overhead energy.
+	MetadataPJ stats.Energy
+}
+
+// TotalPJ returns all energy charged at this level.
+func (s *Stats) TotalPJ() float64 {
+	return s.AccessPJ.PJ() + s.MovementPJ.PJ() + s.MetadataPJ.PJ()
+}
+
+// Reset zeroes every counter and energy bucket (cache contents are
+// untouched); used to discard warmup before measuring steady state.
+func (s *Stats) Reset() {
+	s.Accesses.Reset()
+	s.Hits.Reset()
+	s.Misses.Reset()
+	s.Fills.Reset()
+	s.Bypasses.Reset()
+	s.Movements.Reset()
+	s.Evictions.Reset()
+	s.Writebacks.Reset()
+	for i := range s.HitsPerSublevel {
+		s.HitsPerSublevel[i] = 0
+	}
+	s.AccessPJ.Reset()
+	s.MovementPJ.Reset()
+	s.MetadataPJ.Reset()
+}
+
+// Level is one set-associative, energy-asymmetric cache level.
+type Level struct {
+	cfg     Config
+	name    string
+	sets    [][]Line
+	numSets int
+	ways    int
+	repl    Repl
+	mq      *MovementQueue
+	est     *core.RDEstimator
+	// T is the level access counter driving timestamps (Section 4.1).
+	T uint64
+
+	Stats Stats
+}
+
+// New builds a level from cfg.
+func New(cfg Config) *Level {
+	if cfg.Params == nil {
+		panic("cache: Config.Params is required")
+	}
+	ways := cfg.Params.NumWays()
+	if cfg.Bytes == 0 || cfg.Bytes%(uint64(ways)*mem.LineBytes) != 0 {
+		panic(fmt.Sprintf("cache: capacity %d not divisible into %d ways of lines", cfg.Bytes, ways))
+	}
+	numSets := int(cfg.Bytes / (uint64(ways) * mem.LineBytes))
+	if !mem.IsPow2(uint64(numSets)) {
+		panic(fmt.Sprintf("cache: set count %d must be a power of two", numSets))
+	}
+	l := &Level{
+		cfg:     cfg,
+		name:    cfg.Params.Name,
+		numSets: numSets,
+		ways:    ways,
+	}
+	l.sets = make([][]Line, numSets)
+	for i := range l.sets {
+		l.sets[i] = make([]Line, ways)
+	}
+	if cfg.UseRRIP {
+		l.repl = NewRRIP(numSets, ways, 2)
+	} else {
+		l.repl = NewLRU(numSets, ways)
+	}
+	mqCap := cfg.MovementQueueCap
+	if mqCap <= 0 {
+		mqCap = 16
+	}
+	l.mq = NewMovementQueue(mqCap, 4)
+	l.est = core.NewRDEstimator(uint64(numSets * ways))
+	l.Stats.HitsPerSublevel = make([]uint64, len(cfg.Params.SublevelWays))
+	return l
+}
+
+// Name returns the level name (e.g. "L2").
+func (l *Level) Name() string { return l.name }
+
+// NumSets returns the set count.
+func (l *Level) NumSets() int { return l.numSets }
+
+// NumWays returns the associativity.
+func (l *Level) NumWays() int { return l.ways }
+
+// Lines returns the level capacity in cache lines.
+func (l *Level) Lines() uint64 { return uint64(l.numSets * l.ways) }
+
+// Params returns the energy/latency constants.
+func (l *Level) Params() *energy.LevelParams { return l.cfg.Params }
+
+// Repl exposes the replacement policy (drivers notify promotion hits).
+func (l *Level) Repl() Repl { return l.repl }
+
+// MQ exposes the movement queue for occupancy checks in tests.
+func (l *Level) MQ() *MovementQueue { return l.mq }
+
+// Estimator returns the timestamp-based reuse-distance estimator.
+func (l *Level) Estimator() *core.RDEstimator { return l.est }
+
+// SetOf returns the set index for a line address.
+func (l *Level) SetOf(a mem.LineAddr) int {
+	return int(uint64(a) & uint64(l.numSets-1))
+}
+
+// SublevelMask returns the way mask of sublevel i.
+func (l *Level) SublevelMask(i int) WayMask {
+	first := 0
+	for k := 0; k < i; k++ {
+		first += l.cfg.Params.SublevelWays[k]
+	}
+	return RangeMask(first, first+l.cfg.Params.SublevelWays[i]-1)
+}
+
+// ChunkMask returns the way mask for a chunk spanning sublevels
+// [first, last].
+func (l *Level) ChunkMask(first, last int) WayMask {
+	var m WayMask
+	for s := first; s <= last; s++ {
+		m |= l.SublevelMask(s)
+	}
+	return m
+}
+
+// LineAt returns a copy of the line at (set, way).
+func (l *Level) LineAt(set, way int) Line { return l.sets[set][way] }
+
+// chargeMeta adds the per-line metadata access energy when enabled.
+func (l *Level) chargeMeta() {
+	if l.cfg.ChargeMetadata {
+		l.Stats.MetadataPJ.AddPJ(l.cfg.Params.MetadataPJ)
+	}
+}
+
+// chargeMQ probes the movement queue (policies with movements must check it
+// on every access).
+func (l *Level) chargeMQ() {
+	if l.cfg.ChargeMetadata {
+		l.Stats.MetadataPJ.AddPJ(l.mq.Lookup(l.T))
+	}
+}
+
+// AccessResult reports the outcome of a lookup.
+type AccessResult struct {
+	Hit bool
+	// Way and Set locate the line on a hit.
+	Way, Set int
+	// Sublevel is the sublevel of Way on a hit.
+	Sublevel int
+	// RDLines is the timestamp-estimated reuse distance of this hit, in
+	// lines (Section 4.1); only meaningful on hits.
+	RDLines uint64
+	// WasSampling reports whether the hit line was inserted while its page
+	// was sampling (its reuse should be recorded).
+	WasSampling bool
+}
+
+// Access performs a lookup for line a, updating recency, timestamps and
+// energy accounting. On a hit the line is read (its way energy is charged)
+// and dirtied when store is set. On a miss only the access counter
+// advances; insertion is a separate policy decision.
+func (l *Level) Access(a mem.LineAddr, store bool) AccessResult {
+	l.T++
+	l.Stats.Accesses.Inc()
+	l.chargeMQ()
+	set := l.SetOf(a)
+	for w := range l.sets[set] {
+		ln := &l.sets[set][w]
+		if ln.Valid && ln.Addr == a {
+			l.Stats.Hits.Inc()
+			sub := l.cfg.Params.WaySublevel(w)
+			l.Stats.HitsPerSublevel[sub]++
+			l.Stats.AccessPJ.AddPJ(l.cfg.Params.WayAccessPJ[w])
+			l.chargeMeta()
+			rd := l.est.RDLines(l.T, ln.Meta.TL)
+			wasSampling := ln.Meta.Sampling
+			ln.Meta.TL = l.est.Stamp(l.T)
+			ln.Reuses++
+			if store {
+				ln.Dirty = true
+			}
+			l.repl.OnHit(set, w)
+			return AccessResult{Hit: true, Way: w, Set: set, Sublevel: sub,
+				RDLines: rd, WasSampling: wasSampling}
+		}
+	}
+	l.Stats.Misses.Inc()
+	return AccessResult{Hit: false, Set: set}
+}
+
+// Probe reports whether a is resident without touching any state (the
+// lookup used by invalidations and by tests).
+func (l *Level) Probe(a mem.LineAddr) (way int, hit bool) {
+	set := l.SetOf(a)
+	for w := range l.sets[set] {
+		ln := &l.sets[set][w]
+		if ln.Valid && ln.Addr == a {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// VictimIn picks the way to replace within mask: an invalid way when one
+// exists, otherwise the replacement policy's choice.
+func (l *Level) VictimIn(set int, mask WayMask) int {
+	if mask == 0 {
+		panic("cache: VictimIn with empty mask")
+	}
+	for w := 0; w < l.ways; w++ {
+		if mask.Has(w) && !l.sets[set][w].Valid {
+			return w
+		}
+	}
+	return l.repl.Victim(set, mask)
+}
+
+// VictimPrefer picks a victim within mask like VictimIn, but when any valid
+// line in the mask satisfies pred, the replacement choice is restricted to
+// those lines — the mechanism behind LRU-PEA's preferential eviction of
+// demoted lines.
+func (l *Level) VictimPrefer(set int, mask WayMask, pred func(Line) bool) int {
+	if mask == 0 {
+		panic("cache: VictimPrefer with empty mask")
+	}
+	for w := 0; w < l.ways; w++ {
+		if mask.Has(w) && !l.sets[set][w].Valid {
+			return w
+		}
+	}
+	var preferred WayMask
+	for w := 0; w < l.ways; w++ {
+		if mask.Has(w) && pred(l.sets[set][w]) {
+			preferred |= 1 << w
+		}
+	}
+	if preferred != 0 {
+		return l.repl.Victim(set, preferred)
+	}
+	return l.repl.Victim(set, mask)
+}
+
+// MarkDemoted sets the demotion flag on the line at (set, way).
+func (l *Level) MarkDemoted(set, way int, demoted bool) {
+	if !l.sets[set][way].Valid {
+		panic("cache: marking an invalid line")
+	}
+	l.sets[set][way].Demoted = demoted
+}
+
+// Fill installs line a at (set, way), returning the displaced line (whose
+// Valid reports whether there was one). The write energy is charged as
+// movement energy (insertions count as movement in Figure 11); the caller
+// handles the displaced line per its own policy.
+func (l *Level) Fill(set, way int, a mem.LineAddr, dirty bool, meta Meta) (evicted Line) {
+	ln := &l.sets[set][way]
+	evicted = *ln
+	meta.TL = l.est.Stamp(l.T)
+	*ln = Line{Valid: true, Addr: a, Dirty: dirty, Meta: meta}
+	l.Stats.Fills.Inc()
+	l.Stats.MovementPJ.AddPJ(l.cfg.Params.WayAccessPJ[way])
+	l.chargeMeta()
+	l.repl.OnFill(set, way)
+	return evicted
+}
+
+// Move relocates the line at (set, from) to (set, to), charging the
+// movement read+write and enqueueing in the movement queue. The displaced
+// line at the destination is returned for the caller to handle. It reports
+// whether the queue stalled.
+func (l *Level) Move(set, from, to int) (displaced Line, stalled bool) {
+	src := &l.sets[set][from]
+	if !src.Valid {
+		panic("cache: moving an invalid line")
+	}
+	if from == to {
+		panic("cache: moving a line onto itself")
+	}
+	moved := *src
+	src.Valid = false
+	dst := &l.sets[set][to]
+	displaced = *dst
+	*dst = moved
+	l.Stats.Movements.Inc()
+	l.Stats.MovementPJ.AddPJ(l.cfg.Params.WayAccessPJ[from] + l.cfg.Params.WayAccessPJ[to])
+	l.chargeMeta()
+	stalled = l.mq.Enqueue(l.T)
+	l.repl.OnFill(set, to)
+	return displaced, stalled
+}
+
+// Swap exchanges the lines at (set, w1) and (set, w2) — the promotion
+// primitive of NuRAPID and LRU-PEA, which demote the displaced line into
+// the promoted line's old location. Both lines are read and rewritten, so
+// the energy is twice a single movement; two entries occupy the movement
+// queue. It reports whether the queue stalled.
+func (l *Level) Swap(set, w1, w2 int) (stalled bool) {
+	if w1 == w2 {
+		panic("cache: swapping a way with itself")
+	}
+	a, b := &l.sets[set][w1], &l.sets[set][w2]
+	if !a.Valid || !b.Valid {
+		panic("cache: swapping an invalid line")
+	}
+	*a, *b = *b, *a
+	l.Stats.Movements.Add(2)
+	l.Stats.MovementPJ.AddPJ(2 * (l.cfg.Params.WayAccessPJ[w1] + l.cfg.Params.WayAccessPJ[w2]))
+	l.chargeMeta()
+	s1 := l.mq.Enqueue(l.T)
+	s2 := l.mq.Enqueue(l.T)
+	l.repl.OnFill(set, w1)
+	l.repl.OnFill(set, w2)
+	return s1 || s2
+}
+
+// EvictionRead charges the read required to write back or demote an evicted
+// dirty line out of this level (the read half of a writeback; the write
+// half is charged where the data lands).
+func (l *Level) EvictionRead(way int) {
+	l.Stats.MovementPJ.AddPJ(l.cfg.Params.WayAccessPJ[way])
+}
+
+// NoteEviction counts a line leaving the level entirely.
+func (l *Level) NoteEviction(dirty bool) {
+	l.Stats.Evictions.Inc()
+	if dirty {
+		l.Stats.Writebacks.Inc()
+	}
+}
+
+// NoteBypass counts an insertion the policy suppressed entirely.
+func (l *Level) NoteBypass() { l.Stats.Bypasses.Inc() }
+
+// WritebackTo merges a writeback from an upper level into this level's copy
+// of a, charging the data write but leaving recency untouched (a writeback
+// is not a demand reference). It reports whether the line was resident.
+func (l *Level) WritebackTo(a mem.LineAddr) bool {
+	set := l.SetOf(a)
+	for w := range l.sets[set] {
+		ln := &l.sets[set][w]
+		if ln.Valid && ln.Addr == a {
+			ln.Dirty = true
+			l.Stats.MovementPJ.AddPJ(l.cfg.Params.WayAccessPJ[w])
+			l.chargeMeta()
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops line a if resident, returning the line so callers can
+// handle dirty data. The movement queue is probed for correctness, as
+// invalidations must also check in-flight lines.
+func (l *Level) Invalidate(a mem.LineAddr) (Line, bool) {
+	if l.cfg.ChargeMetadata {
+		l.Stats.MetadataPJ.AddPJ(l.mq.Lookup(l.T))
+	}
+	set := l.SetOf(a)
+	for w := range l.sets[set] {
+		ln := &l.sets[set][w]
+		if ln.Valid && ln.Addr == a {
+			out := *ln
+			ln.Valid = false
+			return out, true
+		}
+	}
+	return Line{}, false
+}
+
+// ForEachLine visits every valid line (for end-of-run statistics such as
+// Figure 1's resident-line reuse counts).
+func (l *Level) ForEachLine(f func(set, way int, ln Line)) {
+	for s := range l.sets {
+		for w := range l.sets[s] {
+			if l.sets[s][w].Valid {
+				f(s, w, l.sets[s][w])
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFullMask(t *testing.T) {
+	if FullMask(16) != 0xffff {
+		t.Errorf("FullMask(16) = %#x", FullMask(16))
+	}
+	if FullMask(32) != ^WayMask(0) {
+		t.Errorf("FullMask(32) = %#x", FullMask(32))
+	}
+	if FullMask(1) != 1 {
+		t.Errorf("FullMask(1) = %#x", FullMask(1))
+	}
+}
+
+func TestFullMaskPanics(t *testing.T) {
+	for _, n := range []int{0, 33, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FullMask(%d) did not panic", n)
+				}
+			}()
+			FullMask(n)
+		}()
+	}
+}
+
+func TestRangeMask(t *testing.T) {
+	m := RangeMask(4, 7)
+	if m != 0xf0 {
+		t.Errorf("RangeMask(4,7) = %#x", m)
+	}
+	if m.Count() != 4 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	want := []int{4, 5, 6, 7}
+	for i, w := range m.Ways() {
+		if w != want[i] {
+			t.Errorf("Ways()[%d] = %d", i, w)
+		}
+	}
+	for w := 0; w < 16; w++ {
+		if m.Has(w) != (w >= 4 && w <= 7) {
+			t.Errorf("Has(%d) wrong", w)
+		}
+	}
+}
+
+func TestRangeMaskPanics(t *testing.T) {
+	for _, r := range [][2]int{{-1, 0}, {4, 3}, {0, 32}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RangeMask(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			RangeMask(r[0], r[1])
+		}()
+	}
+}
+
+func TestMaskProperties(t *testing.T) {
+	f := func(raw uint32) bool {
+		m := WayMask(raw)
+		ways := m.Ways()
+		if len(ways) != m.Count() {
+			return false
+		}
+		for i, w := range ways {
+			if !m.Has(w) {
+				return false
+			}
+			if i > 0 && ways[i-1] >= w {
+				return false // must be ascending and unique
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package cache
+
+import "testing"
+
+func TestMQLookupEnergyAndCount(t *testing.T) {
+	q := NewMovementQueue(16, 4)
+	if pj := q.Lookup(0); pj != 0.3 {
+		t.Errorf("lookup energy = %v, want 0.3", pj)
+	}
+	q.Lookup(1)
+	if q.Lookups() != 2 {
+		t.Errorf("Lookups = %d", q.Lookups())
+	}
+}
+
+func TestMQOccupancyAndDrain(t *testing.T) {
+	q := NewMovementQueue(16, 4)
+	q.Enqueue(10)
+	q.Enqueue(11)
+	if got := q.Occupancy(12); got != 2 {
+		t.Errorf("occupancy = %d, want 2", got)
+	}
+	// Both entries drain after their read+write windows pass.
+	if got := q.Occupancy(16); got != 0 {
+		t.Errorf("occupancy after drain = %d, want 0", got)
+	}
+}
+
+func TestMQStallsWhenFull(t *testing.T) {
+	q := NewMovementQueue(2, 100)
+	if q.Enqueue(1) || q.Enqueue(1) {
+		t.Fatal("unexpected stall while filling")
+	}
+	if !q.Enqueue(1) {
+		t.Error("full queue did not stall")
+	}
+	if q.Stalls() != 1 {
+		t.Errorf("Stalls = %d", q.Stalls())
+	}
+	if q.Peak() < 2 {
+		t.Errorf("Peak = %d", q.Peak())
+	}
+}
+
+func TestMQValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewMovementQueue(0, 1)
+}
+
+func TestMQZeroDrainAgeClamped(t *testing.T) {
+	q := NewMovementQueue(1, 0)
+	q.Enqueue(5)
+	if q.Occupancy(5) != 1 {
+		t.Error("entry drained instantly")
+	}
+	if q.Occupancy(7) != 0 {
+		t.Error("entry never drained")
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistAddAndTotal(t *testing.T) {
+	var d Dist
+	d.Add(0)
+	d.Add(0)
+	d.Add(3)
+	if d.Bins != [NumBins]uint8{2, 0, 0, 1} {
+		t.Errorf("bins = %v", d.Bins)
+	}
+	if d.Total() != 3 {
+		t.Errorf("Total = %d", d.Total())
+	}
+}
+
+func TestDistHalvingOnOverflow(t *testing.T) {
+	// Reproduces the paper's example: counts [4,15,0,12], a new access in
+	// the bin holding 15 halves everything then increments: [2,8,0,6].
+	d := Dist{Bins: [NumBins]uint8{4, 15, 0, 12}}
+	d.Add(1)
+	if d.Bins != [NumBins]uint8{2, 8, 0, 6} {
+		t.Errorf("after halving, bins = %v, want [2 8 0 6]", d.Bins)
+	}
+}
+
+func TestDistNeverExceedsWidth(t *testing.T) {
+	f := func(adds []uint8) bool {
+		var d Dist
+		for _, a := range adds {
+			d.Add(int(a) % NumBins)
+		}
+		for _, b := range d.Bins {
+			if b > 15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistConfigurableWidth(t *testing.T) {
+	d := Dist{Bits: 2} // saturate at 3
+	for i := 0; i < 3; i++ {
+		d.Add(0)
+	}
+	d.Add(0) // must halve: [3] -> [1] then increment -> 2
+	if d.Bins[0] != 2 {
+		t.Errorf("2-bit counter after overflow = %d, want 2", d.Bins[0])
+	}
+}
+
+func TestDistProbabilities(t *testing.T) {
+	d := Dist{Bins: [NumBins]uint8{1, 1, 0, 2}}
+	p := d.Probabilities()
+	want := [NumBins]float64{0.25, 0.25, 0, 0.5}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Errorf("p[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestEmptyDistIsAllMiss(t *testing.T) {
+	var d Dist
+	p := d.Probabilities()
+	if p[MissBin] != 1 {
+		t.Errorf("empty distribution must be all-miss, got %v", p)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		orig := Dist{Bins: [NumBins]uint8{a % 16, b % 16, c % 16, d % 16}}
+		return Unpack(orig.Pack()) == Dist{Bins: orig.Bins}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackClampsWideCounters(t *testing.T) {
+	d := Dist{Bins: [NumBins]uint8{200, 0, 0, 0}, Bits: 8}
+	if got := Unpack(d.Pack()).Bins[0]; got != 15 {
+		t.Errorf("packed wide counter = %d, want clamp to 15", got)
+	}
+}
+
+func TestPackIs16Bits(t *testing.T) {
+	d := Dist{Bins: [NumBins]uint8{15, 15, 15, 15}}
+	if d.Pack() != 0xffff {
+		t.Errorf("Pack full = %#x", d.Pack())
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	for _, bin := range []int{-1, NumBins} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", bin)
+				}
+			}()
+			var d Dist
+			d.Add(bin)
+		}()
+	}
+}
+
+func TestBinFor(t *testing.T) {
+	cum := []uint64{1024, 2048, 4096} // L2: 64K/128K/256K in lines
+	cases := map[uint64]int{
+		0: 0, 1023: 0, 1024: 1, 2047: 1, 2048: 2, 4095: 2, 4096: 3, 1 << 40: 3,
+	}
+	for rd, want := range cases {
+		if got := BinFor(rd, cum); got != want {
+			t.Errorf("BinFor(%d) = %d, want %d", rd, got, want)
+		}
+	}
+}
+
+func TestBinForPanicsOnWrongBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong bound count did not panic")
+		}
+	}()
+	BinFor(0, []uint64{1, 2})
+}
+
+func TestRDEstimatorStampAndDistance(t *testing.T) {
+	// L2: 4096 lines -> granule = 4*4096/64 = 256 accesses per tick.
+	r := NewRDEstimator(4096)
+	if r.Granule() != 256 {
+		t.Fatalf("granule = %d, want 256", r.Granule())
+	}
+	T := uint64(10 * 256)
+	TL := r.Stamp(T)
+	// 5 ticks later the estimated distance is 5 granules + half.
+	later := T + 5*256
+	if got := r.RDLines(later, TL); got != 5*256+128 {
+		t.Errorf("RDLines = %d, want %d", got, 5*256+128)
+	}
+}
+
+func TestRDEstimatorWrap(t *testing.T) {
+	r := NewRDEstimator(4096)
+	// A stamp taken just before the 6-bit wrap still yields a small
+	// distance after it.
+	T := uint64(63 * 256)
+	TL := r.Stamp(T)
+	after := T + 2*256 // stamp wraps to 1
+	if got := r.RDLines(after, TL); got != 2*256+128 {
+		t.Errorf("wrapped RDLines = %d, want %d", got, 2*256+128)
+	}
+}
+
+func TestRDEstimatorTinyLevel(t *testing.T) {
+	r := NewRDEstimator(8) // granule would round to 0; clamps to 1
+	if r.Granule() != 1 {
+		t.Errorf("granule = %d, want 1", r.Granule())
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestRDEstimatorPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-line estimator did not panic")
+		}
+	}()
+	NewRDEstimator(0)
+}

@@ -1,0 +1,257 @@
+// Package core implements the paper's primary contribution: the Sub-Level
+// Insertion Policy (SLIP) representation, the quantized reuse-distance
+// distributions collected by the profiling hardware, and the Energy
+// Optimizer Unit (EOU) that picks the minimum-energy SLIP for a
+// distribution using the linear analytical model of Section 3.2.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SLIP describes how a line is inserted and moved among cache sublevels: an
+// ordered partition of a *prefix* of the sublevels into chunks. The line is
+// inserted into chunk 0 and on eviction from chunk i moves to chunk i+1;
+// eviction from the last chunk leaves the level. Sublevels beyond the prefix
+// are bypassed ("skipping" interior sublevels is excluded, per the paper's
+// footnote, because it saves <1% energy and costs encoding bits).
+//
+// The zero value is the All-Bypass Policy (no chunks).
+type SLIP struct {
+	// chunkEnds[i] is the index of the last sublevel in chunk i; chunk 0
+	// starts at sublevel 0 and chunk i+1 starts right after chunkEnds[i].
+	chunkEnds []int
+}
+
+// NewSLIP builds a SLIP from chunk sizes (in sublevels). NewSLIP() is the
+// All-Bypass Policy; NewSLIP(s) with s == number of sublevels is Default.
+func NewSLIP(chunkSizes ...int) SLIP {
+	ends := make([]int, 0, len(chunkSizes))
+	pos := 0
+	for _, sz := range chunkSizes {
+		if sz < 1 {
+			panic("core: chunk sizes must be positive")
+		}
+		pos += sz
+		ends = append(ends, pos-1)
+	}
+	return SLIP{chunkEnds: ends}
+}
+
+// NumChunks returns the number of chunks (0 for the All-Bypass Policy).
+func (s SLIP) NumChunks() int { return len(s.chunkEnds) }
+
+// IsBypass reports whether this is the All-Bypass Policy.
+func (s SLIP) IsBypass() bool { return len(s.chunkEnds) == 0 }
+
+// Sublevels returns the number of sublevels the SLIP uses (its prefix
+// length); sublevels at or beyond this index are bypassed.
+func (s SLIP) Sublevels() int {
+	if s.IsBypass() {
+		return 0
+	}
+	return s.chunkEnds[len(s.chunkEnds)-1] + 1
+}
+
+// ChunkBounds returns the first and last sublevel of chunk i.
+func (s SLIP) ChunkBounds(i int) (first, last int) {
+	if i < 0 || i >= len(s.chunkEnds) {
+		panic(fmt.Sprintf("core: chunk %d out of range [0,%d)", i, len(s.chunkEnds)))
+	}
+	first = 0
+	if i > 0 {
+		first = s.chunkEnds[i-1] + 1
+	}
+	return first, s.chunkEnds[i]
+}
+
+// ChunkOf returns the chunk index containing sublevel sub, or -1 when the
+// SLIP bypasses that sublevel.
+func (s SLIP) ChunkOf(sub int) int {
+	for i, end := range s.chunkEnds {
+		if sub <= end {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsDefault reports whether the SLIP is the Default policy for a level with
+// total sublevels: one chunk containing every sublevel, equivalent to a
+// conventional cache.
+func (s SLIP) IsDefault(total int) bool {
+	return len(s.chunkEnds) == 1 && s.chunkEnds[0] == total-1
+}
+
+// Class is the Figure 14 classification of SLIPs.
+type Class int
+
+// The four insertion classes of Figure 14.
+const (
+	ClassABP           Class = iota // the All-Bypass Policy
+	ClassPartialBypass              // bypasses some but not all sublevels
+	ClassDefault                    // one chunk with every sublevel
+	ClassOther                      // all sublevels, more than one chunk
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassABP:
+		return "ABP"
+	case ClassPartialBypass:
+		return "partial-bypass"
+	case ClassDefault:
+		return "default"
+	case ClassOther:
+		return "other"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Classify returns the Figure 14 class of s for a level with total
+// sublevels.
+func (s SLIP) Classify(total int) Class {
+	switch {
+	case s.IsBypass():
+		return ClassABP
+	case s.Sublevels() < total:
+		return ClassPartialBypass
+	case s.IsDefault(total):
+		return ClassDefault
+	default:
+		return ClassOther
+	}
+}
+
+// String renders the SLIP in the paper's notation over sublevels, e.g.
+// "{[0],[1,2]}"; the All-Bypass Policy renders as "{}".
+func (s SLIP) String() string {
+	if s.IsBypass() {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range s.chunkEnds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		first, last := s.ChunkBounds(i)
+		b.WriteByte('[')
+		for v := first; v <= last; v++ {
+			if v > first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports structural equality.
+func (s SLIP) Equal(o SLIP) bool {
+	if len(s.chunkEnds) != len(o.chunkEnds) {
+		return false
+	}
+	for i := range s.chunkEnds {
+		if s.chunkEnds[i] != o.chunkEnds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate lists every SLIP for a level with S sublevels in a canonical
+// deterministic order: the All-Bypass Policy first, then by prefix length,
+// then lexicographically by chunk boundaries. The count is exactly 2^S
+// (Section 3.1), so the list index doubles as the S-bit hardware encoding
+// stored in the PTE.
+func Enumerate(S int) []SLIP {
+	if S < 1 || S > 8 {
+		panic("core: sublevel count must be in [1,8]")
+	}
+	out := []SLIP{{}} // ABP
+	for prefix := 1; prefix <= S; prefix++ {
+		out = append(out, compositions(prefix)...)
+	}
+	if len(out) != 1<<S {
+		panic("core: enumeration bug — SLIP count must be 2^S")
+	}
+	return out
+}
+
+// compositions returns all ordered partitions of n sublevels into chunks.
+func compositions(n int) []SLIP {
+	if n == 0 {
+		return []SLIP{{}}
+	}
+	var out []SLIP
+	var rec func(remaining int, sizes []int)
+	rec = func(remaining int, sizes []int) {
+		if remaining == 0 {
+			out = append(out, NewSLIP(sizes...))
+			return
+		}
+		for first := 1; first <= remaining; first++ {
+			rec(remaining-first, append(sizes, first))
+		}
+	}
+	rec(n, nil)
+	return out
+}
+
+// Code is the S-bit hardware encoding of a SLIP: its index in the canonical
+// enumeration. CodeOf panics when s is not a policy for S sublevels.
+func CodeOf(s SLIP, S int) uint8 {
+	for i, cand := range Enumerate(S) {
+		if cand.Equal(s) {
+			return uint8(i)
+		}
+	}
+	panic(fmt.Sprintf("core: SLIP %v is not valid for %d sublevels", s, S))
+}
+
+// DefaultSLIP returns the Default policy for S sublevels.
+func DefaultSLIP(S int) SLIP { return NewSLIP(S) }
+
+// AllBypass returns the All-Bypass Policy.
+func AllBypass() SLIP { return SLIP{} }
+
+// Encoder caches the canonical enumeration for a sublevel count so hot
+// paths can translate between SLIPs and their S-bit codes without
+// re-enumerating (CodeOf is O(2^S) per call; the simulator encodes on every
+// insertion).
+type Encoder struct {
+	s     int
+	slips []SLIP
+}
+
+// NewEncoder builds the code table for S sublevels.
+func NewEncoder(S int) *Encoder {
+	return &Encoder{s: S, slips: Enumerate(S)}
+}
+
+// Code returns the S-bit code of sl; it panics for a foreign SLIP.
+func (e *Encoder) Code(sl SLIP) uint8 {
+	for i, cand := range e.slips {
+		if cand.Equal(sl) {
+			return uint8(i)
+		}
+	}
+	panic(fmt.Sprintf("core: SLIP %v is not valid for %d sublevels", sl, e.s))
+}
+
+// Decode returns the SLIP for a code.
+func (e *Encoder) Decode(code uint8) SLIP {
+	if int(code) >= len(e.slips) {
+		panic(fmt.Sprintf("core: SLIP code %d out of range for %d sublevels", code, e.s))
+	}
+	return e.slips[code]
+}
+
+// DefaultCode returns the Default SLIP's code.
+func (e *Encoder) DefaultCode() uint8 { return e.Code(DefaultSLIP(e.s)) }

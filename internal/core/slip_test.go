@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestEnumerateCountIs2PowS(t *testing.T) {
+	for S := 1; S <= 5; S++ {
+		got := len(Enumerate(S))
+		if got != 1<<S {
+			t.Errorf("Enumerate(%d) has %d SLIPs, want %d", S, got, 1<<S)
+		}
+	}
+}
+
+// TestEnumerate3MatchesPaper checks the full S=3 policy list from
+// Section 3.1 against the canonical enumeration.
+func TestEnumerate3MatchesPaper(t *testing.T) {
+	want := map[string]bool{
+		"{}": true, "{[0]}": true, "{[0,1]}": true, "{[0],[1]}": true,
+		"{[0,1,2]}": true, "{[0,1],[2]}": true, "{[0],[1,2]}": true,
+		"{[0],[1],[2]}": true,
+	}
+	got := Enumerate(3)
+	if len(got) != len(want) {
+		t.Fatalf("enumeration size %d", len(got))
+	}
+	for _, s := range got {
+		if !want[s.String()] {
+			t.Errorf("unexpected SLIP %v", s)
+		}
+		delete(want, s.String())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing SLIPs: %v", want)
+	}
+}
+
+func TestEnumerateDeterministicAndUnique(t *testing.T) {
+	a, b := Enumerate(4), Enumerate(4)
+	seen := map[string]bool{}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("enumeration not deterministic")
+		}
+		if seen[a[i].String()] {
+			t.Fatalf("duplicate SLIP %v", a[i])
+		}
+		seen[a[i].String()] = true
+	}
+}
+
+func TestEnumeratePanicsOnBadS(t *testing.T) {
+	for _, s := range []int{0, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Enumerate(%d) did not panic", s)
+				}
+			}()
+			Enumerate(s)
+		}()
+	}
+}
+
+func TestSLIPStructure(t *testing.T) {
+	s := NewSLIP(1, 2) // {[0],[1,2]}
+	if s.NumChunks() != 2 || s.Sublevels() != 3 || s.IsBypass() {
+		t.Errorf("structure wrong: %v", s)
+	}
+	if f, l := s.ChunkBounds(0); f != 0 || l != 0 {
+		t.Errorf("chunk 0 bounds = [%d,%d]", f, l)
+	}
+	if f, l := s.ChunkBounds(1); f != 1 || l != 2 {
+		t.Errorf("chunk 1 bounds = [%d,%d]", f, l)
+	}
+	if s.String() != "{[0],[1,2]}" {
+		t.Errorf("String = %s", s.String())
+	}
+}
+
+func TestChunkOf(t *testing.T) {
+	s := NewSLIP(1, 1) // {[0],[1]} over 3 sublevels: sublevel 2 bypassed
+	cases := map[int]int{0: 0, 1: 1, 2: -1}
+	for sub, want := range cases {
+		if got := s.ChunkOf(sub); got != want {
+			t.Errorf("ChunkOf(%d) = %d, want %d", sub, got, want)
+		}
+	}
+	if AllBypass().ChunkOf(0) != -1 {
+		t.Error("ABP must not contain any sublevel")
+	}
+}
+
+func TestChunkBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range chunk did not panic")
+		}
+	}()
+	NewSLIP(1).ChunkBounds(1)
+}
+
+func TestNewSLIPRejectsZeroChunk(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero chunk size did not panic")
+		}
+	}()
+	NewSLIP(1, 0)
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		s    SLIP
+		want Class
+	}{
+		{AllBypass(), ClassABP},
+		{NewSLIP(1), ClassPartialBypass},
+		{NewSLIP(1, 1), ClassPartialBypass},
+		{NewSLIP(3), ClassDefault},
+		{NewSLIP(1, 2), ClassOther},
+		{NewSLIP(1, 1, 1), ClassOther},
+	}
+	for _, c := range cases {
+		if got := c.s.Classify(3); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if ClassABP.String() != "ABP" || ClassOther.String() != "other" {
+		t.Error("class strings broken")
+	}
+}
+
+func TestDefaultAndBypassHelpers(t *testing.T) {
+	if !DefaultSLIP(3).IsDefault(3) {
+		t.Error("DefaultSLIP not Default")
+	}
+	if DefaultSLIP(3).IsDefault(4) {
+		t.Error("3-sublevel default misclassified for 4 sublevels")
+	}
+	if !AllBypass().IsBypass() || AllBypass().String() != "{}" {
+		t.Error("AllBypass broken")
+	}
+}
+
+func TestCodeOfRoundTrip(t *testing.T) {
+	all := Enumerate(3)
+	for i, s := range all {
+		if code := CodeOf(s, 3); code != uint8(i) {
+			t.Errorf("CodeOf(%v) = %d, want %d", s, code, i)
+		}
+	}
+	// Codes must fit the 3 PTE bits.
+	for _, s := range all {
+		if CodeOf(s, 3) > 7 {
+			t.Errorf("code of %v exceeds 3 bits", s)
+		}
+	}
+}
+
+func TestCodeOfPanicsOnForeignSLIP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CodeOf with foreign SLIP did not panic")
+		}
+	}()
+	CodeOf(NewSLIP(4), 3)
+}
+
+func TestEqual(t *testing.T) {
+	if !NewSLIP(1, 2).Equal(NewSLIP(1, 2)) {
+		t.Error("equal SLIPs not Equal")
+	}
+	if NewSLIP(1, 2).Equal(NewSLIP(2, 1)) {
+		t.Error("different SLIPs Equal")
+	}
+	if NewSLIP(1).Equal(AllBypass()) {
+		t.Error("ABP equal to {[0]}")
+	}
+}

@@ -1,0 +1,268 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// within reports whether got is within tol (relative) of want.
+func within(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) < tol
+	}
+	return math.Abs(got-want)/math.Abs(want) <= tol
+}
+
+// TestL2GridReproducesTable2 checks the geometry model against the paper's
+// Table 2 sublevel energies for the L2 (21/33/50 pJ) within 3%.
+func TestL2GridReproducesTable2(t *testing.T) {
+	g := L2Grid45()
+	sub := g.SublevelEnergyPJ([]int{4, 4, 8})
+	want := []float64{21, 33, 50}
+	for i := range want {
+		if !within(sub[i], want[i], 0.03) {
+			t.Errorf("L2 sublevel %d energy = %.2f pJ, want %.0f±3%%", i, sub[i], want[i])
+		}
+	}
+	if !within(g.MeanWayEnergyPJ(), 39, 0.03) {
+		t.Errorf("L2 mean way energy = %.2f pJ, want 39±3%%", g.MeanWayEnergyPJ())
+	}
+}
+
+// TestL3GridReproducesTable2 does the same for the L3 (67/113/176 pJ).
+func TestL3GridReproducesTable2(t *testing.T) {
+	g := L3Grid45()
+	sub := g.SublevelEnergyPJ([]int{4, 4, 8})
+	want := []float64{67, 113, 176}
+	for i := range want {
+		if !within(sub[i], want[i], 0.03) {
+			t.Errorf("L3 sublevel %d energy = %.2f pJ, want %.0f±3%%", i, sub[i], want[i])
+		}
+	}
+	if !within(g.MeanWayEnergyPJ(), 136, 0.05) {
+		t.Errorf("L3 mean way energy = %.2f pJ, want 136±5%%", g.MeanWayEnergyPJ())
+	}
+}
+
+// TestHTreePenalty checks the Section 2.1 claim: an H-tree interconnect
+// raises cache energy by ~37% at L2 and ~32% at L3 versus the
+// way-interleaved baseline.
+func TestHTreePenalty(t *testing.T) {
+	l2 := L2Grid45()
+	over := l2.UniformEnergyPJ(HTree)/l2.MeanWayEnergyPJ() - 1
+	if !within(over, 0.37, 0.15) {
+		t.Errorf("L2 H-tree overhead = %.0f%%, want ~37%%", over*100)
+	}
+	l3 := L3Grid45()
+	over3 := l3.UniformEnergyPJ(HTree)/l3.MeanWayEnergyPJ() - 1
+	if !within(over3, 0.32, 0.20) {
+		t.Errorf("L3 H-tree overhead = %.0f%%, want ~32%%", over3*100)
+	}
+}
+
+// TestSetInterleavedIsMeanRow verifies the set-interleaved topology costs the
+// average row energy and sits strictly between nearest and farthest rows.
+func TestSetInterleavedIsMeanRow(t *testing.T) {
+	g := L2Grid45()
+	u := g.UniformEnergyPJ(HierBusSetInterleaved)
+	if u <= g.RowEnergyPJ(0) || u >= g.RowEnergyPJ(g.Rows-1) {
+		t.Errorf("set-interleaved energy %.2f not between rows (%.2f, %.2f)",
+			u, g.RowEnergyPJ(0), g.RowEnergyPJ(g.Rows-1))
+	}
+}
+
+func TestRowEnergyMonotone(t *testing.T) {
+	for _, g := range []*BankGrid{L2Grid45(), L3Grid45()} {
+		for r := 1; r < g.Rows; r++ {
+			if g.RowEnergyPJ(r) <= g.RowEnergyPJ(r-1) {
+				t.Errorf("%s: row %d energy not increasing", g.Name, r)
+			}
+		}
+	}
+}
+
+func TestWayEnergyMapsToRows(t *testing.T) {
+	g := L2Grid45()
+	for w := 0; w < g.NumWays(); w++ {
+		if g.WayEnergyPJ(w) != g.RowEnergyPJ(w/g.WaysPerRow) {
+			t.Errorf("way %d energy does not match its row", w)
+		}
+	}
+}
+
+func TestGridPanicsOutOfRange(t *testing.T) {
+	g := L2Grid45()
+	for _, f := range []func(){
+		func() { g.RowEnergyPJ(-1) },
+		func() { g.RowEnergyPJ(g.Rows) },
+		func() { g.WayEnergyPJ(-1) },
+		func() { g.WayEnergyPJ(g.NumWays()) },
+		func() { g.UniformEnergyPJ(HierBusWayInterleaved) },
+		func() { g.SublevelEnergyPJ([]int{4, 4}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestTech22IncreasesAsymmetry: at 22nm the wire term shrinks less than the
+// bank term, so the far/near energy ratio must grow — the physical basis for
+// SLIP saving slightly more energy at 22nm (Section 6).
+func TestTech22IncreasesAsymmetry(t *testing.T) {
+	g45 := L2Grid45()
+	g22 := g45.WithTech(Tech22())
+	r45 := g45.RowEnergyPJ(3) / g45.RowEnergyPJ(0)
+	r22 := g22.RowEnergyPJ(3) / g22.RowEnergyPJ(0)
+	if r22 <= r45 {
+		t.Errorf("22nm asymmetry %.2f not greater than 45nm %.2f", r22, r45)
+	}
+	if g22.RowEnergyPJ(0) >= g45.RowEnergyPJ(0) {
+		t.Error("22nm absolute energy should be lower than 45nm")
+	}
+}
+
+func TestLevelParamsPresets(t *testing.T) {
+	l2 := L2Params45()
+	if l2.NumWays() != 16 {
+		t.Fatalf("L2 ways = %d", l2.NumWays())
+	}
+	if l2.BaselineAccessPJ != 39 || l2.BaselineLatency != 7 {
+		t.Errorf("L2 baseline = %v pJ / %v cyc", l2.BaselineAccessPJ, l2.BaselineLatency)
+	}
+	if l2.WayAccessPJ[0] != 21 || l2.WayAccessPJ[4] != 33 || l2.WayAccessPJ[15] != 50 {
+		t.Errorf("L2 way energies wrong: %v", l2.WayAccessPJ)
+	}
+	if l2.WayLatency[0] != 4 || l2.WayLatency[15] != 8 {
+		t.Errorf("L2 way latencies wrong: %v", l2.WayLatency)
+	}
+	l3 := L3Params45()
+	if l3.WayAccessPJ[0] != 67 || l3.WayAccessPJ[15] != 176 || l3.MetadataPJ != 2.5 {
+		t.Errorf("L3 params wrong: %v meta=%v", l3.WayAccessPJ, l3.MetadataPJ)
+	}
+	for _, p := range []*LevelParams{l2, l3} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%s): %v", p.Name, err)
+		}
+	}
+}
+
+func TestWaySublevel(t *testing.T) {
+	p := L2Params45()
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2}
+	for w, s := range want {
+		if got := p.WaySublevel(w); got != s {
+			t.Errorf("WaySublevel(%d) = %d, want %d", w, got, s)
+		}
+	}
+}
+
+func TestWaySublevelPanicsBeyondLast(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for way 16")
+		}
+	}()
+	L2Params45().WaySublevel(16)
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	p := L2Params45()
+	p.SublevelWays = []int{4, 4, 4}
+	if p.Validate() == nil {
+		t.Error("mismatched way counts not caught")
+	}
+	p = L2Params45()
+	p.SublevelPJ = []float64{50, 33, 21}
+	if p.Validate() == nil {
+		t.Error("decreasing sublevel energies not caught")
+	}
+	p = L2Params45()
+	p.SublevelLatency = []int{4}
+	if p.Validate() == nil {
+		t.Error("short latency array not caught")
+	}
+}
+
+func TestParamsFromGridMatchesPresetsApprox(t *testing.T) {
+	p := ParamsFromGrid(L2Grid45(), []int{4, 4, 8}, []int{4, 6, 8}, 7, 1)
+	preset := L2Params45()
+	for i := range preset.SublevelPJ {
+		if !within(p.SublevelPJ[i], preset.SublevelPJ[i], 0.03) {
+			t.Errorf("derived L2 sublevel %d = %.2f, preset %.2f",
+				i, p.SublevelPJ[i], preset.SublevelPJ[i])
+		}
+	}
+}
+
+func TestUniformParams(t *testing.T) {
+	p := UniformParams(L2Grid45(), HTree, []int{4, 4, 8}, 7, 1)
+	for w := 1; w < p.NumWays(); w++ {
+		if p.WayAccessPJ[w] != p.WayAccessPJ[0] {
+			t.Fatal("H-tree params must be uniform across ways")
+		}
+	}
+	if p.WayAccessPJ[0] <= L2Params45().BaselineAccessPJ {
+		t.Error("H-tree per-access energy should exceed way-interleaved mean")
+	}
+}
+
+func TestDRAMAccessEnergy(t *testing.T) {
+	d := DRAM45()
+	if d.AccessPJ() != 20*512 {
+		t.Errorf("DRAM access = %v pJ, want 10240", d.AccessPJ())
+	}
+	if d.LatencyCycles != 100 {
+		t.Errorf("DRAM latency = %d", d.LatencyCycles)
+	}
+}
+
+func TestTopologyStrings(t *testing.T) {
+	if HTree.String() != "h-tree" || Topology(99).String() == "" {
+		t.Error("topology strings broken")
+	}
+}
+
+// Property: sublevel average energies are always within [min way, max way]
+// and non-decreasing for any contiguous grouping.
+func TestSublevelAveragesProperty(t *testing.T) {
+	g := L3Grid45()
+	f := func(a, b uint8) bool {
+		n1 := int(a%8) + 1
+		n2 := int(b%8) + 1
+		if n1+n2 >= g.NumWays() {
+			return true
+		}
+		groups := []int{n1, n2, g.NumWays() - n1 - n2}
+		sub := g.SublevelEnergyPJ(groups)
+		lo, hi := g.WayEnergyPJ(0), g.WayEnergyPJ(g.NumWays()-1)
+		for i, e := range sub {
+			if e < lo-1e-9 || e > hi+1e-9 {
+				return false
+			}
+			if i > 0 && e < sub[i-1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultCoreSane(t *testing.T) {
+	c := DefaultCore()
+	if c.PJPerInstr <= 0 || c.L1AccessPJ <= 0 || c.BaseCPI <= 0 {
+		t.Error("core params must be positive")
+	}
+	if c.L1Bytes != 32*1024 || c.L1Ways != 8 || c.L1LatencyCyc != 4 {
+		t.Error("L1 does not match Table 1")
+	}
+}

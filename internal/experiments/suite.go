@@ -1,0 +1,139 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) plus the quantitative claims made in the text
+// (H-tree overhead, 22nm scaling, distribution bit-width sensitivity,
+// sampling traffic). Each experiment prints the same rows/series the paper
+// reports and returns the numbers for programmatic checks.
+//
+// The Suite memoizes simulated systems, so figures that share runs (9, 10,
+// 11, 12, 13, 14, 15 all read the same 14 benchmark x 5 policy matrix) pay
+// for each simulation once.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/hier"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Options sizes and seeds an experiment run.
+type Options struct {
+	// Accesses is the measured per-benchmark trace length (default 2M).
+	Accesses uint64
+	// Warmup is the number of accesses replayed before statistics are
+	// reset — the analogue of the paper's 3B-instruction fast-forward,
+	// giving the sampling state machine and caches time to reach steady
+	// state (default: equal to Accesses).
+	Warmup uint64
+	// warmupSet tracks whether Warmup was set explicitly (zero is legal).
+	WarmupSet bool
+	// Seed drives all randomness.
+	Seed uint64
+	// Benchmarks restricts the workload set (default: all).
+	Benchmarks []string
+	// Out receives the printed tables (nil discards).
+	Out io.Writer
+}
+
+// fill applies defaults.
+func (o *Options) fill() {
+	if o.Accesses == 0 {
+		o.Accesses = 2_000_000
+	}
+	if o.Warmup == 0 && !o.WarmupSet {
+		o.Warmup = o.Accesses
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workloads.Names()
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+}
+
+// Suite memoizes runs across experiments.
+type Suite struct {
+	opts Options
+	runs map[string]*hier.System
+}
+
+// NewSuite builds a suite with the given options.
+func NewSuite(opts Options) *Suite {
+	opts.fill()
+	return &Suite{opts: opts, runs: make(map[string]*hier.System)}
+}
+
+// Options returns the filled options.
+func (s *Suite) Options() Options { return s.opts }
+
+// printf writes to the configured output.
+func (s *Suite) printf(format string, args ...any) {
+	fmt.Fprintf(s.opts.Out, format, args...)
+}
+
+// runKey identifies a memoized simulation.
+func runKey(wl string, p hier.PolicyKind, variant string) string {
+	return fmt.Sprintf("%s/%s/%s", wl, p, variant)
+}
+
+// Run returns the memoized single-core system for a workload and policy
+// under the default configuration.
+func (s *Suite) Run(wl string, p hier.PolicyKind) *hier.System {
+	return s.RunWith(wl, p, "", func() hier.Config {
+		return hier.Config{Policy: p, Seed: s.opts.Seed}
+	})
+}
+
+// RunWith memoizes a single-core run under a custom configuration; variant
+// distinguishes configurations of the same workload/policy pair.
+func (s *Suite) RunWith(wl string, p hier.PolicyKind, variant string, mk func() hier.Config) *hier.System {
+	key := runKey(wl, p, variant)
+	if sys, ok := s.runs[key]; ok {
+		return sys
+	}
+	spec, ok := workloads.ByName(wl)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown workload %q", wl))
+	}
+	sys := hier.New(mk())
+	src := spec.Build(s.opts.Seed)
+	if s.opts.Warmup > 0 {
+		sys.Run(trace.Limit(src, s.opts.Warmup))
+		sys.ResetStats()
+	}
+	sys.Run(trace.Limit(src, s.opts.Accesses))
+	s.runs[key] = sys
+	return sys
+}
+
+// RunMix returns the memoized two-core system for a Figure 16 mix.
+func (s *Suite) RunMix(m workloads.Mix, p hier.PolicyKind) *hier.System {
+	key := runKey(m.Name(), p, "mix")
+	if sys, ok := s.runs[key]; ok {
+		return sys
+	}
+	a, ok := workloads.ByName(m.A)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown workload %q", m.A))
+	}
+	b, ok := workloads.ByName(m.B)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown workload %q", m.B))
+	}
+	sys := hier.New(hier.Config{Policy: p, NumCores: 2, Seed: s.opts.Seed})
+	sa, sb := a.Build(s.opts.Seed), b.Build(s.opts.Seed+1)
+	if s.opts.Warmup > 0 {
+		sys.Run(trace.Limit(sa, s.opts.Warmup), trace.Limit(sb, s.opts.Warmup))
+		sys.ResetStats()
+	}
+	// Statistics are collected only while both benchmarks execute, as in
+	// the paper's overlap-window methodology.
+	sys.Run(trace.Limit(sa, s.opts.Accesses), trace.Limit(sb, s.opts.Accesses))
+	s.runs[key] = sys
+	return sys
+}

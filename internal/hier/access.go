@@ -1,0 +1,286 @@
+package hier
+
+import (
+	"repro/internal/cache"
+	slipcore "repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// coreShift places each core's private address space in a disjoint region
+// (below the metadata region at 0xf000_0000_0000).
+const coreShift = 44
+
+// shiftAddr relocates a core-local address into the core's region.
+func shiftAddr(coreID int, a mem.Addr) mem.Addr {
+	return a | mem.Addr(uint64(coreID)<<coreShift)
+}
+
+// Run drives one trace source per core through the system, interleaving
+// round-robin, until every source is exhausted. Multi-core runs relocate
+// each core's addresses into a private region (the multiprogrammed, no
+// -sharing setup of Section 6).
+func (s *System) Run(srcs ...trace.Source) {
+	if len(srcs) != len(s.cores) {
+		panic("hier: Run needs exactly one source per core")
+	}
+	iv := trace.NewInterleave(srcs...)
+	for {
+		a, coreID, ok := iv.NextWithCore()
+		if !ok {
+			return
+		}
+		if len(s.cores) > 1 {
+			a.Addr = shiftAddr(coreID, a.Addr)
+		}
+		s.Access(coreID, a)
+	}
+}
+
+// Access pushes one reference from core coreID through the hierarchy.
+func (s *System) Access(coreID int, a trace.Access) {
+	cn := s.cores[coreID]
+	cn.Instrs += uint64(1 + a.Gap)
+
+	line := a.Addr.Line()
+	var pte *mmu.PTE
+	if cn.mmu != nil {
+		pte = s.translate(cn, a.Addr.Page())
+	}
+
+	lat := s.cfg.Core.L1LatencyCyc
+	r1 := cn.l1.Access(line, a.Store)
+	if !r1.Hit {
+		lat += s.accessL2(cn, line, pte)
+		s.fillL1(cn, line, a.Store)
+	}
+	stall := float64(lat - s.cfg.Core.OverlapCycles)
+	if stall < 0 {
+		stall = 0
+	}
+	cn.Stalls += stall
+	cn.Cycles += float64(1+a.Gap)*s.cfg.Core.BaseCPI + stall
+}
+
+// translate runs the TLB/sampling machinery and returns the page's PTE.
+func (s *System) translate(cn *coreNode, page mem.PageID) *mmu.PTE {
+	res := cn.mmu.Translate(page)
+	if res.FetchProfile {
+		s.metaFetch(cn, mmu.ProfileAddr(page).Line())
+	}
+	if res.WritebackValid {
+		s.metaWriteback(mmu.ProfileAddr(res.WritebackProfile).Line())
+	}
+	if res.BecameStable {
+		s.recomputePolicy(cn, res.PTE)
+	}
+	return res.PTE
+}
+
+// recomputePolicy runs the EOU for both levels on a page that just turned
+// stable (step Í of Figure 7) and stores the 3-bit codes in the PTE.
+func (s *System) recomputePolicy(cn *coreNode, pte *mmu.PTE) {
+	sl2, _ := s.eouL2.Optimize(&pte.L2Dist)
+	sl3, _ := s.eouL3.Optimize(&pte.L3Dist)
+	pte.L2SLIP = s.encL2.Code(sl2)
+	pte.L3SLIP = s.encL3.Code(sl3)
+	pte.HasPolicy = true
+	cn.mmu.NotePolicyUpdate()
+	// Two optimizations (one per level); the TLB blocks for one cycle while
+	// the policy bits update.
+	s.EOUPJ += 2 * energy.EOUOpPJ
+	cn.Stalls++
+	cn.Cycles++
+}
+
+// metaFor derives the sidecar metadata for an insertion: sampling pages and
+// pages the EOU has not yet classified use the Default SLIP (Sections 3.1
+// and 4.2); stable pages use their PTE codes.
+func (s *System) metaFor(pte *mmu.PTE) cache.Meta {
+	if pte == nil {
+		return cache.Meta{}
+	}
+	if pte.Sampling || !pte.HasPolicy {
+		return cache.Meta{
+			L2Code:   s.defaultCode(2),
+			L3Code:   s.defaultCode(3),
+			Sampling: pte.Sampling,
+		}
+	}
+	return cache.Meta{L2Code: pte.L2SLIP, L3Code: pte.L3SLIP}
+}
+
+// defaultCode returns the Default SLIP code for a level.
+func (s *System) defaultCode(level int) uint8 {
+	if level == 3 {
+		return s.encL3.DefaultCode()
+	}
+	return s.encL2.DefaultCode()
+}
+
+// latencyOf returns the hit latency at a level for the configured policy.
+func latencyOf(l *cache.Level, d interface{ UniformLatency() bool }, way int) int {
+	if d.UniformLatency() {
+		return l.Params().BaselineLatency
+	}
+	return l.Params().WayLatency[way]
+}
+
+// accessL2 services an L1 miss from the L2 and below, returning the added
+// latency in cycles. The line ends up resident in L1's backing levels per
+// policy (and is always returned to the L1 by the caller).
+func (s *System) accessL2(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
+	r2 := cn.l2.Access(line, false)
+	if r2.Hit {
+		if pte != nil && pte.Sampling {
+			pte.L2Dist.Add(slipcore.BinFor(r2.RDLines, s.cumL2))
+			// An L2 hit at reuse distance d is also evidence for the L3
+			// vector: had the L2 not served it, the L3 would have at the
+			// same line distance. Without this cross-update the L3 never
+			// observes reuses the (sampling-time Default) L2 absorbs, and
+			// pages whose lines fit the L2 get a bogus all-miss L3 profile
+			// — the stale-bypass pathology discussed in DESIGN.md.
+			pte.L3Dist.Add(slipcore.BinFor(r2.RDLines, s.cumL3))
+		}
+		lat := latencyOf(cn.l2, cn.d2, r2.Way)
+		cn.d2.OnHit(cn.l2, r2.Set, r2.Way)
+		return lat
+	}
+	s.L2DemandMisses++
+	if pte != nil && pte.Sampling {
+		pte.L2Dist.Add(slipcore.MissBin)
+	}
+	lat := cn.l2.Params().BaselineLatency // miss detection
+	lat += s.accessL3(cn, line, pte)
+	// Insert into the L2 (the policy may bypass).
+	out := cn.d2.Insert(cn.l2, line, false, s.metaFor(pte))
+	if out.Evicted.Valid && out.Evicted.Dirty {
+		s.writebackToL3(out.Evicted)
+	}
+	return lat
+}
+
+// accessL3 services an L2 miss from the L3/DRAM, returning added latency.
+func (s *System) accessL3(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
+	r3 := s.l3.Access(line, false)
+	if r3.Hit {
+		if pte != nil && pte.Sampling {
+			pte.L3Dist.Add(slipcore.BinFor(r3.RDLines, s.cumL3))
+		}
+		lat := latencyOf(s.l3, s.d3, r3.Way)
+		s.d3.OnHit(s.l3, r3.Set, r3.Way)
+		return lat
+	}
+	s.L3DemandMisses++
+	if pte != nil && pte.Sampling {
+		pte.L3Dist.Add(slipcore.MissBin)
+	}
+	lat := s.l3.Params().BaselineLatency + s.dram.Read()
+	out := s.d3.Insert(s.l3, line, false, s.metaFor(pte))
+	s.noteL3Outcome(out)
+	return lat
+}
+
+// noteL3Outcome records Figure 1 reuse counts and forwards dirty evictions
+// to DRAM.
+func (s *System) noteL3Outcome(out policy.Outcome) {
+	if out.Evicted.Valid {
+		s.bucketNR(out.Evicted.Reuses)
+		if out.Evicted.Dirty {
+			s.dram.Write()
+		}
+	}
+}
+
+// bucketNR buckets a finished line's reuse count (0, 1, 2, >2).
+func (s *System) bucketNR(reuses uint32) {
+	idx := int(reuses)
+	if idx > 3 {
+		idx = 3
+	}
+	s.NRHist[idx]++
+}
+
+// FinalizeNR folds still-resident L3 lines into the Figure 1 histogram;
+// call once after a run.
+func (s *System) FinalizeNR() {
+	s.l3.ForEachLine(func(set, way int, ln cache.Line) {
+		s.bucketNR(ln.Reuses)
+	})
+}
+
+// fillL1 installs a line into the L1 after it was serviced below.
+func (s *System) fillL1(cn *coreNode, line mem.LineAddr, store bool) {
+	set := cn.l1.SetOf(line)
+	way := cn.l1.VictimIn(set, cache.FullMask(cn.l1.NumWays()))
+	ev := cn.l1.Fill(set, way, line, store, cache.Meta{})
+	if ev.Valid {
+		cn.l1.NoteEviction(ev.Dirty)
+		if ev.Dirty {
+			cn.l1.EvictionRead(way)
+			s.writebackFromL1(cn, ev.Addr)
+		}
+	}
+}
+
+// writebackFromL1 pushes a dirty L1 line down: into the L2 copy when
+// present, else the L3 copy, else straight to DRAM (a line bypassed from
+// both lower levels).
+func (s *System) writebackFromL1(cn *coreNode, a mem.LineAddr) {
+	if cn.l2.WritebackTo(a) {
+		return
+	}
+	if s.l3.WritebackTo(a) {
+		return
+	}
+	s.dram.Write()
+}
+
+// writebackToL3 lands a dirty L2 eviction: merged into the resident L3 copy
+// when present, otherwise allocated via the L3 policy (which may bypass it
+// straight to DRAM under ABP).
+func (s *System) writebackToL3(ev cache.Line) {
+	if s.l3.WritebackTo(ev.Addr) {
+		return
+	}
+	out := s.d3.Insert(s.l3, ev.Addr, true, ev.Meta)
+	if out.Bypassed {
+		s.dram.Write()
+		return
+	}
+	s.noteL3Outcome(out)
+}
+
+// metaFetch reads a page's 32b distribution record through the hierarchy:
+// it misses the (never-allocating) L2, usually hits the L3 where profile
+// lines are cached, and falls back to DRAM (Section 4.1's metadata
+// traffic).
+func (s *System) metaFetch(cn *coreNode, metaLine mem.LineAddr) {
+	s.L2MetaAccesses++
+	if r2 := cn.l2.Access(metaLine, false); r2.Hit {
+		return
+	}
+	s.L2MetaMisses++
+	s.L3MetaAccesses++
+	if r3 := s.l3.Access(metaLine, false); r3.Hit {
+		s.d3.OnHit(s.l3, r3.Set, r3.Way)
+		return
+	}
+	s.L3MetaMisses++
+	s.dram.MetadataRead()
+	meta := cache.Meta{L2Code: s.defaultCode(2), L3Code: s.defaultCode(3)}
+	out := s.d3.Insert(s.l3, metaLine, false, meta)
+	s.noteL3Outcome(out)
+}
+
+// metaWriteback flushes a displaced page's distribution counters to its
+// profile line (L3 if cached there, else DRAM).
+func (s *System) metaWriteback(metaLine mem.LineAddr) {
+	if s.l3.WritebackTo(metaLine) {
+		return
+	}
+	s.dram.MetadataWrite()
+}

@@ -1,0 +1,283 @@
+// Package hier assembles the full memory hierarchy the paper simulates:
+// per-core L1 and L2, a shared L3, DRAM, the MMU with time-based sampling,
+// and the EOU — then drives trace sources through it while accounting
+// energy, traffic and a stall-based timing model. It is the trace-driven
+// substitute for the paper's MARSSx86 full-system simulation (see
+// DESIGN.md for the substitution argument).
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	slipcore "repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/policy"
+)
+
+// PolicyKind selects the lower-level cache management policy.
+type PolicyKind int
+
+// The five policies of the evaluation (Section 5).
+const (
+	Baseline PolicyKind = iota
+	SLIP                // SLIP without the All-Bypass Policy
+	SLIPABP             // SLIP with ABP in the candidate pool
+	NuRAPID
+	LRUPEA
+)
+
+// String names the policy.
+func (p PolicyKind) String() string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	case SLIP:
+		return "slip"
+	case SLIPABP:
+		return "slip+abp"
+	case NuRAPID:
+		return "nurapid"
+	case LRUPEA:
+		return "lru-pea"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// IsSLIP reports whether the policy uses the SLIP machinery (MMU sampling,
+// EOU, PTE codes).
+func (p PolicyKind) IsSLIP() bool { return p == SLIP || p == SLIPABP }
+
+// Config describes a system to simulate. Zero-value fields default to the
+// paper's Table 1/2 configuration.
+type Config struct {
+	Policy PolicyKind
+	// NumCores is 1 (default) or more; cores get private L1/L2 and share
+	// the L3 (the Figure 16 setup).
+	NumCores int
+	// L2Params/L3Params default to the 45nm presets.
+	L2Params *energy.LevelParams
+	L3Params *energy.LevelParams
+	// L2Bytes/L3Bytes default to 256KB / 2MB.
+	L2Bytes, L3Bytes uint64
+	// DRAM defaults to the 45nm model.
+	DRAM energy.DRAMParams
+	// Core defaults to energy.DefaultCore().
+	Core energy.CoreParams
+	// Seed drives sampling transitions and LRU-PEA randomness.
+	Seed uint64
+	// BinBits overrides distribution counter width (0 = 4 bits).
+	BinBits uint8
+	// DisableSampling pins every page to the sampling state (the
+	// always-fetch strawman of Section 4.1).
+	DisableSampling bool
+	// UseRRIP switches the underlying replacement policy to SRRIP
+	// (Section 7 extension).
+	UseRRIP bool
+}
+
+// fillDefaults applies the paper configuration to unset fields.
+func (c *Config) fillDefaults() {
+	if c.NumCores <= 0 {
+		c.NumCores = 1
+	}
+	if c.L2Params == nil {
+		c.L2Params = energy.L2Params45()
+	}
+	if c.L3Params == nil {
+		c.L3Params = energy.L3Params45()
+	}
+	if c.L2Bytes == 0 {
+		c.L2Bytes = 256 * mem.KB
+	}
+	if c.L3Bytes == 0 {
+		c.L3Bytes = 2 * mem.MB
+	}
+	if c.DRAM.LatencyCycles == 0 {
+		c.DRAM = energy.DRAM45()
+	}
+	if c.Core.PJPerInstr == 0 {
+		c.Core = energy.DefaultCore()
+	}
+}
+
+// coreNode is one core's private slice of the hierarchy.
+type coreNode struct {
+	id  int
+	l1  *cache.Level
+	l2  *cache.Level
+	d2  policy.Driver
+	mmu *mmu.MMU
+
+	// Timing.
+	Instrs uint64
+	Cycles float64
+	Stalls float64
+}
+
+// System is a simulated machine.
+type System struct {
+	cfg   Config
+	cores []*coreNode
+	l3    *cache.Level
+	d3    policy.Driver
+	dram  *dram.DRAM
+
+	eouL2, eouL3 *slipcore.EOU
+	encL2, encL3 *slipcore.Encoder
+	cumL2, cumL3 []uint64 // distribution bin boundaries in lines
+
+	// slipL2 and slipL3 are the typed SLIP drivers (nil otherwise), kept
+	// for insertion-class statistics.
+	slipL2 []*policy.SLIP
+	slipL3 *policy.SLIP
+
+	// NRHist buckets L3-evicted lines by reuse count: 0, 1, 2, >2 (Fig. 1).
+	NRHist [4]uint64
+
+	// Demand/metadata miss split for Figure 12.
+	L2DemandMisses, L2MetaAccesses, L2MetaMisses uint64
+	L3DemandMisses, L3MetaAccesses, L3MetaMisses uint64
+
+	// EOUPJ is the optimizer energy (1.27 pJ per operation).
+	EOUPJ float64
+}
+
+// New builds a system.
+func New(cfg Config) *System {
+	cfg.fillDefaults()
+	s := &System{cfg: cfg}
+	s.dram = dram.New(cfg.DRAM)
+	s.encL2 = slipcore.NewEncoder(len(cfg.L2Params.SublevelWays))
+	s.encL3 = slipcore.NewEncoder(len(cfg.L3Params.SublevelWays))
+
+	chargeMeta := cfg.Policy != Baseline
+	s.l3 = cache.New(cache.Config{
+		Params:         cfg.L3Params,
+		Bytes:          cfg.L3Bytes,
+		ChargeMetadata: chargeMeta,
+		UseRRIP:        cfg.UseRRIP,
+	})
+	s.d3 = s.newDriver(3, cfg.Seed)
+	if d, ok := s.d3.(*policy.SLIP); ok {
+		s.slipL3 = d
+	}
+
+	for i := 0; i < cfg.NumCores; i++ {
+		cn := &coreNode{id: i}
+		cn.l1 = cache.New(cache.Config{
+			Params: energy.L1Params(cfg.Core),
+			Bytes:  cfg.Core.L1Bytes,
+		})
+		cn.l2 = cache.New(cache.Config{
+			Params:         cfg.L2Params,
+			Bytes:          cfg.L2Bytes,
+			ChargeMetadata: chargeMeta,
+			UseRRIP:        cfg.UseRRIP,
+		})
+		cn.d2 = s.newDriver(2, cfg.Seed+uint64(i)*977)
+		if d, ok := cn.d2.(*policy.SLIP); ok {
+			s.slipL2 = append(s.slipL2, d)
+		}
+		if cfg.Policy.IsSLIP() {
+			cn.mmu = mmu.New(mmu.Config{
+				Seed:            cfg.Seed + uint64(i)*31,
+				BinBits:         cfg.BinBits,
+				DisableSampling: cfg.DisableSampling,
+			})
+		}
+		s.cores = append(s.cores, cn)
+	}
+
+	if cfg.Policy.IsSLIP() {
+		allowABP := cfg.Policy == SLIPABP
+		l2 := s.cores[0].l2
+		geom2 := slipcore.LevelGeom{
+			SublevelWays:  cfg.L2Params.SublevelWays,
+			SublevelLines: sublevelLines(l2),
+			SublevelPJ:    cfg.L2Params.SublevelPJ,
+			NextLevelPJ:   cfg.L3Params.BaselineAccessPJ,
+		}
+		geom3 := slipcore.LevelGeom{
+			SublevelWays:  cfg.L3Params.SublevelWays,
+			SublevelLines: sublevelLines(s.l3),
+			SublevelPJ:    cfg.L3Params.SublevelPJ,
+			NextLevelPJ:   s.dram.AccessPJ(),
+		}
+		var err error
+		if s.eouL2, err = slipcore.NewEOU(geom2, allowABP); err != nil {
+			panic(err)
+		}
+		if s.eouL3, err = slipcore.NewEOU(geom3, allowABP); err != nil {
+			panic(err)
+		}
+		s.cumL2 = geom2.CumLines()
+		s.cumL3 = geom3.CumLines()
+	}
+	return s
+}
+
+// sublevelLines computes each sublevel's capacity in lines for a level.
+func sublevelLines(l *cache.Level) []uint64 {
+	out := make([]uint64, len(l.Params().SublevelWays))
+	for i, w := range l.Params().SublevelWays {
+		out[i] = uint64(w * l.NumSets())
+	}
+	return out
+}
+
+// newDriver instantiates the policy driver for a level (2 or 3).
+func (s *System) newDriver(level int, seed uint64) policy.Driver {
+	switch s.cfg.Policy {
+	case Baseline:
+		return policy.NewBaseline()
+	case SLIP, SLIPABP:
+		n := len(s.cfg.L2Params.SublevelWays)
+		if level == 3 {
+			n = len(s.cfg.L3Params.SublevelWays)
+		}
+		return policy.NewSLIP(n, level)
+	case NuRAPID:
+		return policy.NewNuRAPID()
+	case LRUPEA:
+		return policy.NewLRUPEA(seed)
+	default:
+		panic(fmt.Sprintf("hier: unknown policy %v", s.cfg.Policy))
+	}
+}
+
+// Config returns the (default-filled) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// L2 returns core i's private L2 level.
+func (s *System) L2(i int) *cache.Level { return s.cores[i].l2 }
+
+// L1 returns core i's L1 level.
+func (s *System) L1(i int) *cache.Level { return s.cores[i].l1 }
+
+// L3 returns the shared L3 level.
+func (s *System) L3() *cache.Level { return s.l3 }
+
+// DRAM returns the memory endpoint.
+func (s *System) DRAM() *dram.DRAM { return s.dram }
+
+// MMU returns core i's MMU (nil for non-SLIP policies).
+func (s *System) MMU(i int) *mmu.MMU { return s.cores[i].mmu }
+
+// EOUL2 exposes the L2 optimizer (nil for non-SLIP policies).
+func (s *System) EOUL2() *slipcore.EOU { return s.eouL2 }
+
+// SLIPDriverL2 returns core i's typed SLIP driver (nil otherwise).
+func (s *System) SLIPDriverL2(i int) *policy.SLIP {
+	if s.slipL2 == nil {
+		return nil
+	}
+	return s.slipL2[i]
+}
+
+// SLIPDriverL3 returns the shared L3 SLIP driver (nil otherwise).
+func (s *System) SLIPDriverL3() *policy.SLIP { return s.slipL3 }

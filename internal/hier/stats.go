@@ -1,0 +1,237 @@
+package hier
+
+// Accessors over a finished run, shaped after the metrics the paper's
+// figures report. Energies are picojoules.
+
+// ResetStats discards everything accumulated so far — energies, hit/miss
+// and traffic counters, timing, NR histogram, insertion classes — while
+// keeping all cache, TLB, PTE and policy state. Call it after a warmup
+// phase so reported numbers reflect steady state, the analogue of the
+// paper's fast-forward before measured simpoints.
+func (s *System) ResetStats() {
+	for _, c := range s.cores {
+		c.l1.Stats.Reset()
+		c.l2.Stats.Reset()
+		c.Instrs = 0
+		c.Cycles = 0
+		c.Stalls = 0
+	}
+	s.l3.Stats.Reset()
+	s.dram.Stats.Reads.Reset()
+	s.dram.Stats.Writes.Reset()
+	s.dram.Stats.MetadataReads.Reset()
+	s.dram.Stats.MetadataWrites.Reset()
+	s.dram.Stats.EnergyPJ.Reset()
+	s.NRHist = [4]uint64{}
+	s.L2DemandMisses, s.L2MetaAccesses, s.L2MetaMisses = 0, 0, 0
+	s.L3DemandMisses, s.L3MetaAccesses, s.L3MetaMisses = 0, 0, 0
+	s.EOUPJ = 0
+	for _, d := range s.slipL2 {
+		d.InsertClasses = [4]uint64{}
+	}
+	if s.slipL3 != nil {
+		s.slipL3.InsertClasses = [4]uint64{}
+	}
+}
+
+// Instrs returns the instructions retired by core i.
+func (s *System) Instrs(i int) uint64 { return s.cores[i].Instrs }
+
+// Cycles returns core i's cycle count under the stall-based timing model.
+func (s *System) Cycles(i int) float64 { return s.cores[i].Cycles }
+
+// TotalInstrs sums instructions over all cores.
+func (s *System) TotalInstrs() uint64 {
+	var t uint64
+	for _, c := range s.cores {
+		t += c.Instrs
+	}
+	return t
+}
+
+// MaxCycles returns the slowest core's cycles (the run's wall time).
+func (s *System) MaxCycles() float64 {
+	m := 0.0
+	for _, c := range s.cores {
+		if c.Cycles > m {
+			m = c.Cycles
+		}
+	}
+	return m
+}
+
+// IPC returns core i's instructions per cycle.
+func (s *System) IPC(i int) float64 {
+	if s.cores[i].Cycles == 0 {
+		return 0
+	}
+	return float64(s.cores[i].Instrs) / s.cores[i].Cycles
+}
+
+// L2TotalPJ sums all L2 energy (access + movement + metadata) across cores,
+// including the L2 share of EOU energy.
+func (s *System) L2TotalPJ() float64 {
+	t := 0.0
+	for _, c := range s.cores {
+		t += c.l2.Stats.TotalPJ()
+	}
+	return t + s.EOUPJ/2
+}
+
+// L3TotalPJ returns all L3 energy including its EOU share.
+func (s *System) L3TotalPJ() float64 { return s.l3.Stats.TotalPJ() + s.EOUPJ/2 }
+
+// L2AccessPJ / L2MovementPJ split the Figure 11 components across cores.
+func (s *System) L2AccessPJ() float64 {
+	t := 0.0
+	for _, c := range s.cores {
+		t += c.l2.Stats.AccessPJ.PJ()
+	}
+	return t
+}
+
+// L2MovementPJ sums movement (incl. insertion/writeback) energy across L2s.
+func (s *System) L2MovementPJ() float64 {
+	t := 0.0
+	for _, c := range s.cores {
+		t += c.l2.Stats.MovementPJ.PJ()
+	}
+	return t
+}
+
+// L3AccessPJ returns the L3 hit-servicing energy.
+func (s *System) L3AccessPJ() float64 { return s.l3.Stats.AccessPJ.PJ() }
+
+// L3MovementPJ returns L3 movement + insertion + writeback energy.
+func (s *System) L3MovementPJ() float64 { return s.l3.Stats.MovementPJ.PJ() }
+
+// L1TotalPJ sums L1 energies across cores.
+func (s *System) L1TotalPJ() float64 {
+	t := 0.0
+	for _, c := range s.cores {
+		t += c.l1.Stats.TotalPJ()
+	}
+	return t
+}
+
+// CorePJ returns the non-memory core energy (per-instruction constant).
+func (s *System) CorePJ() float64 {
+	return float64(s.TotalInstrs()) * s.cfg.Core.PJPerInstr
+}
+
+// DRAMPJ returns main-memory energy.
+func (s *System) DRAMPJ() float64 { return s.dram.Stats.EnergyPJ.PJ() }
+
+// FullSystemPJ is the Figure 10 denominator: core + L1 + L2 + L3 + DRAM
+// dynamic energy (EOU energy is inside the level totals).
+func (s *System) FullSystemPJ() float64 {
+	return s.CorePJ() + s.L1TotalPJ() + s.L2TotalPJ() + s.L3TotalPJ() + s.DRAMPJ()
+}
+
+// L2Misses returns demand (non-metadata) L2 misses; with metadata included
+// it is the Figure 12 "relative misses" numerator.
+func (s *System) L2Misses(withMetadata bool) uint64 {
+	m := s.L2DemandMisses
+	if withMetadata {
+		m += s.L2MetaMisses
+	}
+	return m
+}
+
+// L3Misses mirrors L2Misses for the L3.
+func (s *System) L3Misses(withMetadata bool) uint64 {
+	m := s.L3DemandMisses
+	if withMetadata {
+		m += s.L3MetaMisses
+	}
+	return m
+}
+
+// DRAMTraffic returns total line transfers, the Figure 12/16 DRAM metric.
+func (s *System) DRAMTraffic() uint64 { return s.dram.Stats.TotalAccesses() }
+
+// DRAMDemandTraffic excludes profile metadata transfers.
+func (s *System) DRAMDemandTraffic() uint64 {
+	return s.dram.Stats.Reads.Value() + s.dram.Stats.Writes.Value()
+}
+
+// SublevelHitFractions returns the share of hits served per sublevel for
+// level 2 (aggregated over cores) or 3 — the Figure 15 data.
+func (s *System) SublevelHitFractions(level int) []float64 {
+	var per []uint64
+	switch level {
+	case 2:
+		per = make([]uint64, len(s.cfg.L2Params.SublevelWays))
+		for _, c := range s.cores {
+			for i, v := range c.l2.Stats.HitsPerSublevel {
+				per[i] += v
+			}
+		}
+	case 3:
+		per = append(per, s.l3.Stats.HitsPerSublevel...)
+	default:
+		panic("hier: SublevelHitFractions wants level 2 or 3")
+	}
+	var total uint64
+	for _, v := range per {
+		total += v
+	}
+	out := make([]float64, len(per))
+	if total == 0 {
+		return out
+	}
+	for i, v := range per {
+		out[i] = float64(v) / float64(total)
+	}
+	return out
+}
+
+// InsertionClassFractions returns the Figure 14 breakdown (ABP, partial
+// bypass, default, other) of insertions at the given level; zeros for
+// non-SLIP policies.
+func (s *System) InsertionClassFractions(level int) [4]float64 {
+	var counts [4]uint64
+	switch level {
+	case 2:
+		for _, d := range s.slipL2 {
+			for i, v := range d.InsertClasses {
+				counts[i] += v
+			}
+		}
+	case 3:
+		if s.slipL3 != nil {
+			counts = s.slipL3.InsertClasses
+		}
+	default:
+		panic("hier: InsertionClassFractions wants level 2 or 3")
+	}
+	var total uint64
+	for _, v := range counts {
+		total += v
+	}
+	var out [4]float64
+	if total == 0 {
+		return out
+	}
+	for i, v := range counts {
+		out[i] = float64(v) / float64(total)
+	}
+	return out
+}
+
+// NRFractions returns the Figure 1 breakdown of lines by reuse count
+// (call FinalizeNR first to include resident lines).
+func (s *System) NRFractions() [4]float64 {
+	var total uint64
+	for _, v := range s.NRHist {
+		total += v
+	}
+	var out [4]float64
+	if total == 0 {
+		return out
+	}
+	for i, v := range s.NRHist {
+		out[i] = float64(v) / float64(total)
+	}
+	return out
+}

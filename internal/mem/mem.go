@@ -1,0 +1,90 @@
+// Package mem defines the address arithmetic shared by every component of
+// the SLIP reproduction: physical addresses, cache-line and page geometry,
+// and small helpers for splitting addresses into tag/set/offset fields.
+//
+// The whole simulator works on 64-bit physical addresses, 64-byte cache
+// lines and 4-KB pages, matching the configuration in the paper (Table 1).
+package mem
+
+import "fmt"
+
+// Addr is a 64-bit physical byte address.
+type Addr uint64
+
+// Fundamental geometry constants (Table 1 of the paper).
+const (
+	// LineBytes is the cache line size in bytes.
+	LineBytes = 64
+	// LineShift is log2(LineBytes).
+	LineShift = 6
+	// PageBytes is the page (rd-block) size in bytes.
+	PageBytes = 4096
+	// PageShift is log2(PageBytes).
+	PageShift = 12
+	// LinesPerPage is the number of cache lines in one page.
+	LinesPerPage = PageBytes / LineBytes
+)
+
+// LineAddr identifies a cache line (a line-aligned address shifted right by
+// LineShift).
+type LineAddr uint64
+
+// PageID identifies a 4-KB page (an address shifted right by PageShift).
+type PageID uint64
+
+// Line returns the line address containing a.
+func (a Addr) Line() LineAddr { return LineAddr(a >> LineShift) }
+
+// Page returns the page containing a.
+func (a Addr) Page() PageID { return PageID(a >> PageShift) }
+
+// Offset returns the byte offset of a within its cache line.
+func (a Addr) Offset() uint64 { return uint64(a) & (LineBytes - 1) }
+
+// PageOffset returns the byte offset of a within its page.
+func (a Addr) PageOffset() uint64 { return uint64(a) & (PageBytes - 1) }
+
+// Addr returns the first byte address of the line.
+func (l LineAddr) Addr() Addr { return Addr(l) << LineShift }
+
+// Page returns the page containing the line.
+func (l LineAddr) Page() PageID { return PageID(l >> (PageShift - LineShift)) }
+
+// Addr returns the first byte address of the page.
+func (p PageID) Addr() Addr { return Addr(p) << PageShift }
+
+// String renders the address in hex for diagnostics.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// String renders the line address in hex.
+func (l LineAddr) String() string { return fmt.Sprintf("line:0x%x", uint64(l)) }
+
+// String renders the page id in hex.
+func (p PageID) String() string { return fmt.Sprintf("page:0x%x", uint64(p)) }
+
+// IsPow2 reports whether v is a power of two. Cache geometry (sets, ways per
+// bank and so on) must be a power of two for the index arithmetic used here.
+func IsPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// Log2 returns floor(log2(v)); it panics when v is zero because a zero-size
+// geometry is always a configuration bug.
+func Log2(v uint64) uint {
+	if v == 0 {
+		panic("mem.Log2: zero argument")
+	}
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// KB and MB express capacities in the units the paper uses.
+const (
+	KB = 1024
+	MB = 1024 * 1024
+)
+
+// LinesIn returns the number of cache lines in a capacity of b bytes.
+func LinesIn(b uint64) uint64 { return b / LineBytes }

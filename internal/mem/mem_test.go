@@ -1,0 +1,103 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLinePage(t *testing.T) {
+	a := Addr(0x12345)
+	if got := a.Line(); got != LineAddr(0x12345>>6) {
+		t.Errorf("Line() = %v", got)
+	}
+	if got := a.Page(); got != PageID(0x12) {
+		t.Errorf("Page() = %v", got)
+	}
+	if got := a.Offset(); got != 0x12345&63 {
+		t.Errorf("Offset() = %v", got)
+	}
+	if got := a.PageOffset(); got != 0x345 {
+		t.Errorf("PageOffset() = %v", got)
+	}
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		l := a.Line()
+		// The line base address must contain a and be line aligned.
+		base := l.Addr()
+		return uint64(base) <= raw && raw-uint64(base) < LineBytes && base.Offset() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinePageConsistency(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		return a.Line().Page() == a.Page()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageAddr(t *testing.T) {
+	p := PageID(7)
+	if p.Addr() != Addr(7*PageBytes) {
+		t.Errorf("PageID.Addr() = %v", p.Addr())
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	cases := map[uint64]bool{0: false, 1: true, 2: true, 3: false, 4: true, 1024: true, 1023: false}
+	for v, want := range cases {
+		if IsPow2(v) != want {
+			t.Errorf("IsPow2(%d) = %v, want %v", v, !want, want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[uint64]uint{1: 0, 2: 1, 4: 2, 64: 6, 4096: 12}
+	for v, want := range cases {
+		if got := Log2(v); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestLog2PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Log2(0) did not panic")
+		}
+	}()
+	Log2(0)
+}
+
+func TestConstants(t *testing.T) {
+	if LinesPerPage != 64 {
+		t.Errorf("LinesPerPage = %d", LinesPerPage)
+	}
+	if LinesIn(256*KB) != 4096 {
+		t.Errorf("LinesIn(256KB) = %d", LinesIn(256*KB))
+	}
+	if 1<<LineShift != LineBytes || 1<<PageShift != PageBytes {
+		t.Error("shift constants inconsistent")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Addr(255).String() != "0xff" {
+		t.Errorf("Addr.String = %s", Addr(255).String())
+	}
+	if LineAddr(1).String() != "line:0x1" {
+		t.Errorf("LineAddr.String = %s", LineAddr(1).String())
+	}
+	if PageID(2).String() != "page:0x2" {
+		t.Errorf("PageID.String = %s", PageID(2).String())
+	}
+}

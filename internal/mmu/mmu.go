@@ -1,0 +1,225 @@
+// Package mmu models the virtual-memory side of SLIP (Sections 4.1-4.3): a
+// page table whose PTEs carry the per-page SLIP codes (3b per level, stored
+// in ignored x86-64 PTE bits) and the sampling-state bit, per-page
+// reuse-distance distributions (32b per page, resident in DRAM and fetched
+// through the cache hierarchy as metadata traffic), a small fully
+// associative TLB, and the time-based sampling state machine with
+// Nsamp = 16 and Nstab = 256.
+package mmu
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Default sampling parameters from Section 4.2: a sampling page turns
+// stable with probability 1/Nsamp per TLB miss, a stable page turns
+// sampling with probability 1/Nstab, so roughly
+// Nsamp/(Nsamp+Nstab) ≈ 6% of TLB misses fetch distribution metadata.
+const (
+	DefaultNsamp = 16
+	DefaultNstab = 256
+	// DefaultTLBEntries is the TLB reach used in evaluation.
+	DefaultTLBEntries = 64
+	// DefaultMinSamples gates the sampling->stable transition: a page may
+	// only stabilize once its distributions hold this many observations,
+	// so a page cannot freeze onto a policy chosen from a handful of cold
+	// first-touch misses. Sixteen is reachable even for single-bin
+	// distributions, whose halving keeps each level's total in [8, 30].
+	// (One extra 5-bit comparison in the TLB-miss handler; see DESIGN.md.)
+	DefaultMinSamples = 16
+)
+
+// PTE is one page's extended page-table entry. The architectural storage is
+// 6 SLIP bits + 1 state bit in the PTE plus 32 distribution bits in DRAM;
+// this struct is the simulator's single source of truth for both.
+type PTE struct {
+	// L2SLIP and L3SLIP are the 3-bit policy codes for each level.
+	L2SLIP uint8
+	L3SLIP uint8
+	// Sampling is the state bit: distributions are only collected while
+	// sampling, and sampling pages insert with the Default SLIP.
+	Sampling bool
+	// HasPolicy reports whether the EOU has ever assigned codes; pages
+	// without a policy use the Default SLIP (warmup rule of Section 3.1).
+	HasPolicy bool
+	// L2Dist and L3Dist are the page's quantized reuse-distance
+	// distributions (4 bits x 4 bins each, Section 4.1).
+	L2Dist core.Dist
+	L3Dist core.Dist
+}
+
+// Config parameterizes the MMU.
+type Config struct {
+	// Nsamp and Nstab are the sampling state-machine constants (defaults
+	// applied when zero).
+	Nsamp, Nstab int
+	// TLBEntries is the TLB capacity (default applied when zero).
+	TLBEntries int
+	// Seed drives the random state transitions.
+	Seed uint64
+	// BinBits overrides the distribution counter width (0 = 4 bits),
+	// used by the bit-width sensitivity study.
+	BinBits uint8
+	// MinSamples overrides the stable-transition evidence gate
+	// (default applied when zero; negative disables the gate).
+	MinSamples int
+	// DisableSampling forces every page to remain in the sampling state
+	// forever, modelling the always-fetch design whose metadata traffic
+	// motivated time-based sampling (Section 4.1).
+	DisableSampling bool
+}
+
+// Stats counts MMU events.
+type Stats struct {
+	TLBHits         stats.Counter
+	TLBMisses       stats.Counter
+	ProfileFetches  stats.Counter // 32b distribution reads on TLB miss
+	ProfileWrites   stats.Counter // distribution writebacks on TLB eviction
+	ToStable        stats.Counter // sampling -> stable transitions
+	ToSampling      stats.Counter // stable -> sampling transitions
+	PolicyRecomputs stats.Counter // EOU invocations
+}
+
+// MMU is the TLB + page table pair.
+type MMU struct {
+	cfg   Config
+	pages map[mem.PageID]*PTE
+	tlb   map[mem.PageID]uint64 // page -> LRU stamp
+	clock uint64
+	rng   *trace.RNG
+
+	Stats Stats
+}
+
+// New builds an MMU.
+func New(cfg Config) *MMU {
+	if cfg.Nsamp <= 0 {
+		cfg.Nsamp = DefaultNsamp
+	}
+	if cfg.Nstab <= 0 {
+		cfg.Nstab = DefaultNstab
+	}
+	if cfg.TLBEntries <= 0 {
+		cfg.TLBEntries = DefaultTLBEntries
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = DefaultMinSamples
+	}
+	return &MMU{
+		cfg:   cfg,
+		pages: make(map[mem.PageID]*PTE),
+		tlb:   make(map[mem.PageID]uint64),
+		rng:   trace.NewRNG(cfg.Seed ^ 0x51e9),
+	}
+}
+
+// PTEOf returns the page's entry, allocating a fresh sampling-state PTE on
+// first touch (pages start sampling so their distributions get collected).
+func (m *MMU) PTEOf(p mem.PageID) *PTE {
+	pte, ok := m.pages[p]
+	if !ok {
+		pte = &PTE{Sampling: true}
+		pte.L2Dist.Bits = m.cfg.BinBits
+		pte.L3Dist.Bits = m.cfg.BinBits
+		m.pages[p] = pte
+	}
+	return pte
+}
+
+// NumPages returns the number of pages touched so far.
+func (m *MMU) NumPages() int { return len(m.pages) }
+
+// TranslateResult reports what a translation did, so the hierarchy driver
+// can issue the implied metadata traffic and EOU work.
+type TranslateResult struct {
+	PTE *PTE
+	// TLBMiss reports a page-table walk happened.
+	TLBMiss bool
+	// FetchProfile is set when the page was sampling at miss time: its 32b
+	// distribution must be read through the memory hierarchy (Ë in Fig. 7).
+	FetchProfile bool
+	// WritebackProfile is the page whose sampled distribution was displaced
+	// from the TLB and must be written back; Valid marks presence.
+	WritebackProfile mem.PageID
+	WritebackValid   bool
+	// BecameStable is set when the sampling state machine transitioned the
+	// page to stable: the caller must recompute its SLIPs with the EOU
+	// (Í in Fig. 7).
+	BecameStable bool
+}
+
+// Translate looks page p up in the TLB, running the Section 4.2 state
+// machine on misses.
+func (m *MMU) Translate(p mem.PageID) TranslateResult {
+	m.clock++
+	pte := m.PTEOf(p)
+	if _, ok := m.tlb[p]; ok {
+		m.tlb[p] = m.clock
+		m.Stats.TLBHits.Inc()
+		return TranslateResult{PTE: pte}
+	}
+	m.Stats.TLBMisses.Inc()
+	res := TranslateResult{PTE: pte, TLBMiss: true}
+	// Evict the LRU TLB entry when full; a displaced sampling page's
+	// distribution counters are written back to DRAM.
+	if len(m.tlb) >= m.cfg.TLBEntries {
+		var victim mem.PageID
+		oldest := ^uint64(0)
+		for page, stamp := range m.tlb {
+			if stamp < oldest {
+				victim, oldest = page, stamp
+			}
+		}
+		delete(m.tlb, victim)
+		if m.pages[victim].Sampling {
+			m.Stats.ProfileWrites.Inc()
+			res.WritebackProfile = victim
+			res.WritebackValid = true
+		}
+	}
+	m.tlb[p] = m.clock
+	if pte.Sampling {
+		// Distribution metadata is only fetched for sampling pages.
+		m.Stats.ProfileFetches.Inc()
+		res.FetchProfile = true
+	}
+	// Random state transition (Ì in Fig. 7).
+	if !m.cfg.DisableSampling {
+		if pte.Sampling {
+			enough := m.cfg.MinSamples < 0 ||
+				pte.L2Dist.Total()+pte.L3Dist.Total() >= uint64(m.cfg.MinSamples)
+			if enough && m.rng.Bool(1/float64(m.cfg.Nsamp)) {
+				pte.Sampling = false
+				m.Stats.ToStable.Inc()
+				res.BecameStable = true
+			}
+		} else if m.rng.Bool(1 / float64(m.cfg.Nstab)) {
+			pte.Sampling = true
+			m.Stats.ToSampling.Inc()
+		}
+	}
+	return res
+}
+
+// NotePolicyUpdate counts an EOU recomputation for accounting (the caller
+// performs the optimization and stores the codes).
+func (m *MMU) NotePolicyUpdate() { m.Stats.PolicyRecomputs.Inc() }
+
+// InTLB reports whether p currently hits in the TLB.
+func (m *MMU) InTLB(p mem.PageID) bool {
+	_, ok := m.tlb[p]
+	return ok
+}
+
+// ProfileAddr maps a page's 32-bit distribution record to the reserved
+// physical region where profiles live, so metadata traffic flows through
+// the cache hierarchy like any other access: 16 page profiles share one
+// cache line, which is why most metadata requests hit in the L3
+// (Section 6, Figure 12 discussion).
+func ProfileAddr(p mem.PageID) mem.Addr {
+	const profileBase = mem.Addr(0xf000_0000_0000)
+	return profileBase + mem.Addr(uint64(p)*4)
+}

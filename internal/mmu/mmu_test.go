@@ -1,0 +1,179 @@
+package mmu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestFirstTouchIsSamplingTLBMiss(t *testing.T) {
+	m := New(Config{Seed: 1})
+	res := m.Translate(5)
+	if !res.TLBMiss {
+		t.Error("first touch must miss the TLB")
+	}
+	if !res.FetchProfile {
+		t.Error("sampling page must fetch its profile on TLB miss")
+	}
+	if res.PTE == nil || !res.PTE.Sampling && !res.BecameStable {
+		t.Error("fresh page must start sampling")
+	}
+	if m.NumPages() != 1 {
+		t.Errorf("NumPages = %d", m.NumPages())
+	}
+}
+
+func TestTLBHitAfterMiss(t *testing.T) {
+	m := New(Config{Seed: 1})
+	m.Translate(5)
+	res := m.Translate(5)
+	if res.TLBMiss || res.FetchProfile {
+		t.Error("second touch must hit the TLB with no metadata fetch")
+	}
+	if m.Stats.TLBHits.Value() != 1 || m.Stats.TLBMisses.Value() != 1 {
+		t.Errorf("stats: %+v", m.Stats)
+	}
+}
+
+func TestTLBEvictionLRUAndProfileWriteback(t *testing.T) {
+	m := New(Config{Seed: 1, TLBEntries: 2, DisableSampling: true})
+	m.Translate(1)
+	m.Translate(2)
+	m.Translate(1) // refresh 1; page 2 is now LRU
+	res := m.Translate(3)
+	if !res.WritebackValid || res.WritebackProfile != 2 {
+		t.Errorf("writeback = %v valid=%v, want page 2", res.WritebackProfile, res.WritebackValid)
+	}
+	if m.InTLB(2) {
+		t.Error("evicted page still in TLB")
+	}
+	if !m.InTLB(1) || !m.InTLB(3) {
+		t.Error("resident pages missing")
+	}
+	if m.Stats.ProfileWrites.Value() != 1 {
+		t.Errorf("ProfileWrites = %d", m.Stats.ProfileWrites.Value())
+	}
+}
+
+func TestStablePagesDoNotFetchProfiles(t *testing.T) {
+	m := New(Config{Seed: 1, TLBEntries: 1})
+	pte := m.PTEOf(7)
+	pte.Sampling = false
+	m.Translate(7)
+	if m.Stats.ProfileFetches.Value() != 0 {
+		t.Error("stable page fetched a profile")
+	}
+	// Displacing a stable page must not write back a profile either.
+	m.Translate(8)
+	if m.Stats.ProfileWrites.Value() != 0 {
+		t.Error("stable page wrote back a profile")
+	}
+}
+
+func TestSamplingTransitionRates(t *testing.T) {
+	m := New(Config{Seed: 42, TLBEntries: 1, Nsamp: 16, Nstab: 256, MinSamples: -1})
+	// Hammer TLB misses on alternating pages and track the long-run
+	// fraction of misses that fetch metadata; Section 4.2 predicts about
+	// Nsamp/(Nsamp+Nstab) ≈ 5.9%.
+	fetches := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		res := m.Translate(mem.PageID(i % 2))
+		if res.FetchProfile {
+			fetches++
+		}
+	}
+	frac := float64(fetches) / n
+	want := 16.0 / (16 + 256)
+	if math.Abs(frac-want) > 0.02 {
+		t.Errorf("profile fetch fraction = %.3f, want ≈ %.3f", frac, want)
+	}
+	if m.Stats.ToStable.Value() == 0 || m.Stats.ToSampling.Value() == 0 {
+		t.Error("state machine never transitioned")
+	}
+}
+
+func TestBecameStableSignals(t *testing.T) {
+	m := New(Config{Seed: 3, TLBEntries: 1, MinSamples: -1})
+	sawStable := false
+	for i := 0; i < 1000 && !sawStable; i++ {
+		res := m.Translate(mem.PageID(i % 2))
+		if res.BecameStable {
+			sawStable = true
+			if res.PTE.Sampling {
+				t.Error("BecameStable with Sampling still set")
+			}
+		}
+	}
+	if !sawStable {
+		t.Error("no stable transition in 1000 misses with Nsamp=16")
+	}
+}
+
+func TestDisableSamplingKeepsSampling(t *testing.T) {
+	m := New(Config{Seed: 3, TLBEntries: 1, DisableSampling: true})
+	for i := 0; i < 2000; i++ {
+		if res := m.Translate(mem.PageID(i % 2)); res.BecameStable {
+			t.Fatal("transition despite DisableSampling")
+		}
+	}
+	if m.Stats.ProfileFetches.Value() != 2000 {
+		t.Errorf("every miss must fetch when sampling is pinned: %d", m.Stats.ProfileFetches.Value())
+	}
+}
+
+func TestMinSamplesGatesStabilization(t *testing.T) {
+	m := New(Config{Seed: 3, TLBEntries: 1, MinSamples: 10})
+	// Without recorded samples the page must never stabilize.
+	for i := 0; i < 2000; i++ {
+		if res := m.Translate(mem.PageID(i % 2)); res.BecameStable {
+			t.Fatal("page stabilized without evidence")
+		}
+	}
+	// Once the distributions carry enough observations it can.
+	for _, p := range []mem.PageID{0, 1} {
+		pte := m.PTEOf(p)
+		for i := 0; i < 10; i++ {
+			pte.L2Dist.Add(0)
+		}
+	}
+	saw := false
+	for i := 0; i < 2000 && !saw; i++ {
+		saw = m.Translate(mem.PageID(i % 2)).BecameStable
+	}
+	if !saw {
+		t.Error("page with evidence never stabilized")
+	}
+}
+
+func TestBinBitsPropagate(t *testing.T) {
+	m := New(Config{Seed: 1, BinBits: 2})
+	pte := m.PTEOf(9)
+	for i := 0; i < 4; i++ {
+		pte.L2Dist.Add(0)
+	}
+	// With 2-bit counters, the fourth add must have halved: [3]->[1]->2.
+	if pte.L2Dist.Bins[0] != 2 {
+		t.Errorf("BinBits not applied: bins = %v", pte.L2Dist.Bins)
+	}
+}
+
+func TestProfileAddrSharing(t *testing.T) {
+	// 16 consecutive pages share one metadata cache line.
+	a, b := ProfileAddr(0), ProfileAddr(15)
+	if a.Line() != b.Line() {
+		t.Error("pages 0 and 15 must share a profile line")
+	}
+	if ProfileAddr(16).Line() == a.Line() {
+		t.Error("page 16 must be on the next profile line")
+	}
+}
+
+func TestNotePolicyUpdate(t *testing.T) {
+	m := New(Config{})
+	m.NotePolicyUpdate()
+	if m.Stats.PolicyRecomputs.Value() != 1 {
+		t.Error("recompute not counted")
+	}
+}

@@ -1,0 +1,123 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// SLIP is the paper's policy driver for one cache level. Every line arrives
+// with its page's SLIP code in the sidecar metadata (copied there by the
+// hierarchy from the TLB, step Ð of Figure 7); the driver decodes it,
+// inserts into chunk C0, and on displacement moves victims into *their own*
+// SLIPs' next chunks (step Ñ), cascading strictly outward.
+type SLIP struct {
+	// slips is the canonical enumeration, indexed by the 3-bit code.
+	slips []core.SLIP
+	// level selects which code field of the metadata applies here (2 or 3).
+	level  int
+	numSub int
+
+	// InsertClasses counts insertions by SLIP class for Figure 14.
+	InsertClasses [4]uint64
+}
+
+// NewSLIP builds the driver for a level with numSublevels sublevels;
+// level (2 or 3) selects the metadata code field.
+func NewSLIP(numSublevels, level int) *SLIP {
+	if level != 2 && level != 3 {
+		panic(fmt.Sprintf("policy: SLIP level must be 2 or 3, got %d", level))
+	}
+	return &SLIP{
+		slips:  core.Enumerate(numSublevels),
+		level:  level,
+		numSub: numSublevels,
+	}
+}
+
+// Name implements Driver.
+func (*SLIP) Name() string { return "slip" }
+
+// UsesMetadata implements Driver.
+func (*SLIP) UsesMetadata() bool { return true }
+
+// UniformLatency implements Driver.
+func (*SLIP) UniformLatency() bool { return false }
+
+// OnHit implements Driver: SLIP deliberately never promotes on hit — lines
+// are placed by reuse prediction instead (the core energy argument of
+// Section 1).
+func (*SLIP) OnHit(*cache.Level, int, int) {}
+
+// codeOf extracts this level's 3-bit code from the metadata.
+func (s *SLIP) codeOf(meta cache.Meta) uint8 {
+	if s.level == 2 {
+		return meta.L2Code
+	}
+	return meta.L3Code
+}
+
+// Decode maps a code to its SLIP.
+func (s *SLIP) Decode(code uint8) core.SLIP {
+	if int(code) >= len(s.slips) {
+		panic(fmt.Sprintf("policy: SLIP code %d out of range", code))
+	}
+	return s.slips[code]
+}
+
+// DefaultCode returns the code of the Default SLIP.
+func (s *SLIP) DefaultCode() uint8 {
+	return core.CodeOf(core.DefaultSLIP(s.numSub), s.numSub)
+}
+
+// chunkMask returns the way mask of chunk i of sl.
+func chunkMask(l *cache.Level, sl core.SLIP, i int) cache.WayMask {
+	first, last := sl.ChunkBounds(i)
+	return l.ChunkMask(first, last)
+}
+
+// Insert implements Driver: the SLIP state machine of Figure 6.
+func (s *SLIP) Insert(l *cache.Level, a mem.LineAddr, dirty bool, meta cache.Meta) Outcome {
+	sl := s.Decode(s.codeOf(meta))
+	s.InsertClasses[sl.Classify(s.numSub)]++
+	if sl.IsBypass() {
+		l.NoteBypass()
+		return Outcome{Bypassed: true}
+	}
+	set := l.SetOf(a)
+	// Build the displacement chain. Each displaced line moves into the
+	// next chunk of its *own* SLIP; sublevel indices increase strictly
+	// along the chain, so it terminates within numSub steps.
+	chain := []int{l.VictimIn(set, chunkMask(l, sl, 0))}
+	for {
+		cur := l.LineAt(set, chain[len(chain)-1])
+		if !cur.Valid {
+			break // empty way absorbs the chain
+		}
+		curSLIP := s.Decode(s.codeOf(cur.Meta))
+		sub := l.Params().WaySublevel(chain[len(chain)-1])
+		chunk := curSLIP.ChunkOf(sub)
+		if chunk < 0 || chunk+1 >= curSLIP.NumChunks() {
+			// The line's SLIP has no farther chunk (or no longer covers its
+			// resident sublevel after a policy update): it leaves the level.
+			break
+		}
+		chain = append(chain, l.VictimIn(set, chunkMask(l, curSLIP, chunk+1)))
+	}
+	var out Outcome
+	for k := len(chain) - 1; k >= 1; k-- {
+		displaced, _ := l.Move(set, chain[k-1], chain[k])
+		if k == len(chain)-1 && displaced.Valid {
+			out.Evicted = displaced
+			finishEviction(l, displaced, chain[k])
+		}
+	}
+	ev := l.Fill(set, chain[0], a, dirty, meta)
+	if len(chain) == 1 && ev.Valid {
+		out.Evicted = ev
+		finishEviction(l, ev, chain[0])
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Errorf("after Reset, Value = %d", c.Value())
+	}
+}
+
+func TestEnergyUnits(t *testing.T) {
+	var e Energy
+	e.AddPJ(1500)
+	if e.PJ() != 1500 {
+		t.Errorf("PJ = %v", e.PJ())
+	}
+	if e.NJ() != 1.5 {
+		t.Errorf("NJ = %v", e.NJ())
+	}
+	if e.MJoulesMicro() != 0.0015 {
+		t.Errorf("uJ = %v", e.MJoulesMicro())
+	}
+	e.Reset()
+	if e.PJ() != 0 {
+		t.Errorf("after Reset, PJ = %v", e.PJ())
+	}
+}
+
+func TestRatioPctSavings(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator should be 0")
+	}
+	if Pct(1, 4) != 25 {
+		t.Errorf("Pct(1,4) = %v", Pct(1, 4))
+	}
+	if Savings(100, 65) != 35 {
+		t.Errorf("Savings(100,65) = %v", Savings(100, 65))
+	}
+	if Savings(100, 184) != -84 {
+		t.Errorf("Savings(100,184) = %v", Savings(100, 184))
+	}
+	if Savings(0, 5) != 0 {
+		t.Error("Savings with zero base should be 0")
+	}
+}
+
+func TestGeoMeanMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	// Non-positive entries are ignored rather than poisoning the result.
+	if g := GeoMean([]float64{0, -1, 9}); math.Abs(g-9) > 1e-12 {
+		t.Errorf("GeoMean with junk = %v", g)
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	for _, v := range []uint64{0, 9, 10, 50, 99, 100, 1000} {
+		h.Observe(v)
+	}
+	bins := h.Bins()
+	want := []uint64{2, 3, 2}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Errorf("bin[%d] = %d, want %d", i, bins[i], want[i])
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	fr := h.Fractions()
+	if math.Abs(fr[1]-3.0/7.0) > 1e-12 {
+		t.Errorf("Fractions[1] = %v", fr[1])
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Bins()[0] != 0 {
+		t.Error("Reset did not clear histogram")
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	f := func(samples []uint64) bool {
+		h := NewHistogram([]uint64{16, 64, 256})
+		for _, s := range samples {
+			h.Observe(s)
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, fr := range h.Fractions() {
+			sum += fr
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]uint64{10, 10})
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h := NewHistogram([]uint64{1})
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram should yield zero fractions")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig. X", "bench", "savings")
+	tb.AddRow("soplex", "35.0")
+	tb.AddRowF("mcf", "%.1f", 12.34)
+	out := tb.String()
+	if !strings.Contains(out, "Fig. X") || !strings.Contains(out, "soplex") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "12.3") {
+		t.Errorf("formatted row missing:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Ragged rows must not panic and must pad/truncate.
+	tb.AddRow("a", "b", "c", "d")
+	tb.AddRow("only-label")
+	_ = tb.String()
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}

@@ -1,0 +1,64 @@
+// Package trace defines the memory access streams the simulator consumes:
+// the Access record, deterministic synthetic region generators that stand in
+// for the paper's SPEC-CPU2006 PinPoints traces, and a compact binary codec
+// for storing generated traces on disk.
+//
+// The substitution is documented in DESIGN.md: SLIP's behaviour depends only
+// on the reuse-distance structure of the post-L1 reference stream, so each
+// benchmark is modelled as a weighted interleaving of region generators
+// (streams, loops, random/pointer-chase regions, stencils) whose mixture is
+// calibrated against the paper's description of that benchmark.
+package trace
+
+import (
+	"repro/internal/mem"
+)
+
+// Access is one memory reference.
+type Access struct {
+	// Addr is the physical byte address referenced.
+	Addr mem.Addr
+	// Store marks writes; they dirty cache lines and cause writebacks.
+	Store bool
+	// Gap is the number of non-memory instructions executed since the
+	// previous access; the timing model uses it to convert stall cycles
+	// into speedup, and the energy model charges core energy per
+	// instruction.
+	Gap uint32
+}
+
+// Source produces a stream of accesses. Synthetic generators are unbounded
+// and always return ok=true; file readers and limiters signal exhaustion
+// with ok=false.
+type Source interface {
+	Next() (a Access, ok bool)
+}
+
+// Limit wraps a source and cuts the stream after n accesses.
+func Limit(s Source, n uint64) Source { return &limiter{s: s, left: n} }
+
+type limiter struct {
+	s    Source
+	left uint64
+}
+
+func (l *limiter) Next() (Access, bool) {
+	if l.left == 0 {
+		return Access{}, false
+	}
+	l.left--
+	return l.s.Next()
+}
+
+// Collect drains up to n accesses from s into a slice (handy in tests).
+func Collect(s Source, n int) []Access {
+	out := make([]Access, 0, n)
+	for len(out) < n {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package trace
+
+// MixItem is one component of a benchmark mixture: a region, its share of
+// the access stream, and the burst length with which its accesses appear
+// (real programs issue runs of accesses from one data structure, not a
+// per-access shuffle; burst length also controls how much other regions
+// inflate this region's reuse distances).
+type MixItem struct {
+	Region Region
+	Weight float64
+	Burst  int
+}
+
+// Mix interleaves regions in weighted bursts and attaches instruction gaps,
+// forming a complete synthetic benchmark trace.
+type Mix struct {
+	items []MixItem
+	// meanGap is the average number of non-memory instructions per access.
+	meanGap float64
+	rng     *RNG
+
+	cur  int // index of region currently bursting
+	left int // accesses left in current burst
+	cum  []float64
+}
+
+// NewMix builds a mixture source. meanGap sets the average instruction gap
+// between accesses (>= 0); weights need not sum to one.
+func NewMix(seed uint64, meanGap float64, items ...MixItem) *Mix {
+	if len(items) == 0 {
+		panic("trace: mix needs at least one region")
+	}
+	for _, it := range items {
+		if it.Weight <= 0 || it.Burst < 1 || it.Region == nil {
+			panic("trace: mix item needs positive weight, burst >= 1 and a region")
+		}
+	}
+	m := &Mix{items: items, meanGap: meanGap, rng: NewRNG(seed)}
+	// Weight is each region's share of the *access stream*. One selection
+	// emits Burst accesses, so selection probability must be proportional
+	// to Weight/Burst, not Weight.
+	selTotal := 0.0
+	for _, it := range items {
+		selTotal += it.Weight / float64(it.Burst)
+	}
+	run := 0.0
+	for _, it := range items {
+		run += it.Weight / float64(it.Burst) / selTotal
+		m.cum = append(m.cum, run)
+	}
+	m.cum[len(m.cum)-1] = 1.0
+	return m
+}
+
+// Next implements Source; mixtures are unbounded.
+func (m *Mix) Next() (Access, bool) {
+	if m.left == 0 {
+		x := m.rng.Float64()
+		m.cur = len(m.items) - 1
+		for i, c := range m.cum {
+			if x < c {
+				m.cur = i
+				break
+			}
+		}
+		m.left = m.items[m.cur].Burst
+	}
+	m.left--
+	addr, store := m.items[m.cur].Region.Next(m.rng)
+	return Access{Addr: addr, Store: store, Gap: m.gap()}, true
+}
+
+// gap draws a geometric instruction gap with the configured mean.
+func (m *Mix) gap() uint32 {
+	if m.meanGap <= 0 {
+		return 0
+	}
+	// A geometric draw with mean g: floor(ln(u)/ln(1-1/(g+1))) clamped.
+	g := 0
+	p := 1.0 / (m.meanGap + 1)
+	for !m.rng.Bool(p) && g < 1000 {
+		g++
+	}
+	return uint32(g)
+}
+
+// Phase is one program phase: a source and how many accesses it lasts.
+type Phase struct {
+	Source Source
+	Len    uint64
+}
+
+// Phased cycles through program phases, modelling benchmarks like mcf whose
+// reuse behaviour changes over time (the case motivating time-based
+// sampling in Section 4.2).
+type Phased struct {
+	phases []Phase
+	idx    int
+	used   uint64
+}
+
+// NewPhased builds a phase-cycling source.
+func NewPhased(phases ...Phase) *Phased {
+	if len(phases) == 0 {
+		panic("trace: phased source needs at least one phase")
+	}
+	for _, p := range phases {
+		if p.Len == 0 || p.Source == nil {
+			panic("trace: each phase needs a source and a positive length")
+		}
+	}
+	return &Phased{phases: phases}
+}
+
+// Next implements Source.
+func (p *Phased) Next() (Access, bool) {
+	ph := p.phases[p.idx]
+	if p.used >= ph.Len {
+		p.used = 0
+		p.idx = (p.idx + 1) % len(p.phases)
+		ph = p.phases[p.idx]
+	}
+	p.used++
+	return ph.Source.Next()
+}
+
+// Interleave merges per-core sources round-robin, the multiprogrammed-mix
+// driver for the Figure 16 experiments. It also reports which core issued
+// each access via the CoreOf callback.
+type Interleave struct {
+	srcs []Source
+	next int
+}
+
+// NewInterleave builds a round-robin merger.
+func NewInterleave(srcs ...Source) *Interleave {
+	if len(srcs) == 0 {
+		panic("trace: interleave needs at least one source")
+	}
+	return &Interleave{srcs: srcs}
+}
+
+// Next implements Source. Exhausted sources are skipped; ok is false only
+// when every source is exhausted.
+func (iv *Interleave) Next() (Access, bool) {
+	for tries := 0; tries < len(iv.srcs); tries++ {
+		i := iv.next
+		iv.next = (iv.next + 1) % len(iv.srcs)
+		if a, ok := iv.srcs[i].Next(); ok {
+			return a, true
+		}
+	}
+	return Access{}, false
+}
+
+// NextWithCore returns the next access and the index of the source that
+// produced it.
+func (iv *Interleave) NextWithCore() (Access, int, bool) {
+	for tries := 0; tries < len(iv.srcs); tries++ {
+		i := iv.next
+		iv.next = (iv.next + 1) % len(iv.srcs)
+		if a, ok := iv.srcs[i].Next(); ok {
+			return a, i, true
+		}
+	}
+	return Access{}, -1, false
+}

@@ -1,0 +1,335 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Region generates addresses with one characteristic access pattern over one
+// contiguous address range. Benchmarks are built as weighted mixtures of
+// regions; keeping each pattern in its own range means each 4KB page sees a
+// homogeneous pattern, matching the paper's per-page (rd-block) assumption.
+type Region interface {
+	// Next returns the next address of the pattern and whether it is a store.
+	Next(r *RNG) (addr mem.Addr, store bool)
+	// Name identifies the region in diagnostics.
+	Name() string
+	// Footprint returns the byte range [base, base+size) the region touches.
+	Footprint() (base mem.Addr, size uint64)
+}
+
+// checkRegion validates the common base/size invariants.
+func checkRegion(kind string, base mem.Addr, size uint64) {
+	if size < mem.LineBytes {
+		panic(fmt.Sprintf("trace: %s region smaller than one line (%d bytes)", kind, size))
+	}
+	if uint64(base)%mem.LineBytes != 0 {
+		panic(fmt.Sprintf("trace: %s region base %v not line aligned", kind, base))
+	}
+}
+
+// Stream is a sequential scan over a (typically large) array: every line is
+// touched WordsPerLine times in quick succession (the word-granular accesses
+// an L1 absorbs) and then not again until the next full pass. With a
+// footprint larger than the cache this produces the paper's NR=0 lines.
+type Stream struct {
+	Base mem.Addr
+	// Bytes is the footprint; the scan wraps around at Base+Bytes.
+	Bytes uint64
+	// WordsPerLine is how many sequential 8-byte words are issued per line
+	// (>=1); words beyond the first hit in the L1.
+	WordsPerLine int
+	// StoreFrac is the probability that a word access is a store.
+	StoreFrac float64
+
+	pos  uint64 // current line index within the region
+	word int    // next word within the current line
+}
+
+// NewStream builds a sequential scan region.
+func NewStream(base mem.Addr, bytes uint64, wordsPerLine int, storeFrac float64) *Stream {
+	checkRegion("stream", base, bytes)
+	if wordsPerLine < 1 || wordsPerLine > 8 {
+		panic("trace: WordsPerLine must be in [1,8]")
+	}
+	return &Stream{Base: base, Bytes: bytes, WordsPerLine: wordsPerLine, StoreFrac: storeFrac}
+}
+
+// Name implements Region.
+func (s *Stream) Name() string { return "stream" }
+
+// Footprint implements Region.
+func (s *Stream) Footprint() (mem.Addr, uint64) { return s.Base, s.Bytes }
+
+// Next implements Region.
+func (s *Stream) Next(r *RNG) (mem.Addr, bool) {
+	addr := s.Base + mem.Addr(s.pos*mem.LineBytes+uint64(s.word)*8)
+	s.word++
+	if s.word >= s.WordsPerLine {
+		s.word = 0
+		s.pos++
+		if s.pos*mem.LineBytes >= s.Bytes {
+			s.pos = 0
+		}
+	}
+	return addr, r.Bool(s.StoreFrac)
+}
+
+// Loop cycles over a fixed working set line by line; consecutive touches of
+// the same line are separated by the whole working set, so the reuse
+// distance equals the footprint. A loop that fits a sublevel produces the
+// dense near-reuse class of Figure 3.
+type Loop struct {
+	Base      mem.Addr
+	Bytes     uint64
+	StoreFrac float64
+
+	pos uint64
+}
+
+// NewLoop builds a cyclic working-set region.
+func NewLoop(base mem.Addr, bytes uint64, storeFrac float64) *Loop {
+	checkRegion("loop", base, bytes)
+	return &Loop{Base: base, Bytes: bytes, StoreFrac: storeFrac}
+}
+
+// Name implements Region.
+func (l *Loop) Name() string { return "loop" }
+
+// Footprint implements Region.
+func (l *Loop) Footprint() (mem.Addr, uint64) { return l.Base, l.Bytes }
+
+// Next implements Region.
+func (l *Loop) Next(r *RNG) (mem.Addr, bool) {
+	addr := l.Base + mem.Addr(l.pos*mem.LineBytes)
+	l.pos++
+	if l.pos*mem.LineBytes >= l.Bytes {
+		l.pos = 0
+	}
+	return addr, r.Bool(l.StoreFrac)
+}
+
+// Random touches uniformly random lines of its footprint — the
+// rperm[rorig[i]] pattern of Figure 3 that almost always misses. With a
+// footprint much larger than the cache nearly every access is a miss, the
+// class the All-Bypass Policy targets.
+type Random struct {
+	Base      mem.Addr
+	Bytes     uint64
+	StoreFrac float64
+}
+
+// NewRandom builds a uniform random region.
+func NewRandom(base mem.Addr, bytes uint64, storeFrac float64) *Random {
+	checkRegion("random", base, bytes)
+	return &Random{Base: base, Bytes: bytes, StoreFrac: storeFrac}
+}
+
+// Name implements Region.
+func (x *Random) Name() string { return "random" }
+
+// Footprint implements Region.
+func (x *Random) Footprint() (mem.Addr, uint64) { return x.Base, x.Bytes }
+
+// Next implements Region.
+func (x *Random) Next(r *RNG) (mem.Addr, bool) {
+	lines := x.Bytes / mem.LineBytes
+	line := uint64(r.Intn(int(lines)))
+	return x.Base + mem.Addr(line*mem.LineBytes), r.Bool(x.StoreFrac)
+}
+
+// PointerChase walks a deterministic pseudo-random permutation cycle over
+// its footprint, the dependent-load pattern of mcf. Like Random, reuse
+// distances equal the footprint, but the sequence is reproducible and covers
+// every line exactly once per cycle.
+type PointerChase struct {
+	Base      mem.Addr
+	Bytes     uint64
+	StoreFrac float64
+
+	cur   uint64
+	lines uint64
+	mult  uint64
+}
+
+// NewPointerChase builds a permutation-walk region. The footprint must hold
+// a power-of-two number of lines so the multiplicative step is a bijection.
+func NewPointerChase(base mem.Addr, bytes uint64, storeFrac float64) *PointerChase {
+	checkRegion("chase", base, bytes)
+	lines := bytes / mem.LineBytes
+	if !mem.IsPow2(lines) {
+		panic("trace: pointer-chase footprint must be a power-of-two number of lines")
+	}
+	// An odd multiplier is invertible mod a power of two, so the walk
+	// line -> (line*mult + 1) mod lines visits every line exactly once.
+	return &PointerChase{Base: base, Bytes: bytes, StoreFrac: storeFrac, lines: lines, mult: 0x9e37_79b1}
+}
+
+// Name implements Region.
+func (p *PointerChase) Name() string { return "chase" }
+
+// Footprint implements Region.
+func (p *PointerChase) Footprint() (mem.Addr, uint64) { return p.Base, p.Bytes }
+
+// Next implements Region.
+func (p *PointerChase) Next(r *RNG) (mem.Addr, bool) {
+	addr := p.Base + mem.Addr(p.cur*mem.LineBytes)
+	p.cur = (p.cur*p.mult + 1) % p.lines
+	return addr, r.Bool(p.StoreFrac)
+}
+
+// Stencil sweeps a grid accessing the current line plus neighbours one plane
+// above and below, the leslie3d/GemsFDTD pattern: every line is reused at a
+// reuse distance of about one plane.
+type Stencil struct {
+	Base       mem.Addr
+	Bytes      uint64
+	PlaneBytes uint64
+	StoreFrac  float64
+
+	pos   uint64
+	phase int
+}
+
+// NewStencil builds a plane-sweep region.
+func NewStencil(base mem.Addr, bytes, planeBytes uint64, storeFrac float64) *Stencil {
+	checkRegion("stencil", base, bytes)
+	if planeBytes < mem.LineBytes || planeBytes*2 > bytes {
+		panic("trace: stencil plane must be at least a line and at most half the footprint")
+	}
+	return &Stencil{Base: base, Bytes: bytes, PlaneBytes: planeBytes, StoreFrac: storeFrac}
+}
+
+// Name implements Region.
+func (s *Stencil) Name() string { return "stencil" }
+
+// Footprint implements Region.
+func (s *Stencil) Footprint() (mem.Addr, uint64) { return s.Base, s.Bytes }
+
+// Next implements Region.
+func (s *Stencil) Next(r *RNG) (mem.Addr, bool) {
+	planeLines := s.PlaneBytes / mem.LineBytes
+	lines := s.Bytes / mem.LineBytes
+	var line uint64
+	switch s.phase {
+	case 0: // previous plane (reuse of a line first touched one plane ago)
+		line = (s.pos + lines - planeLines) % lines
+	case 1: // current line, first touch
+		line = s.pos
+	default: // next plane prefetch-like touch
+		line = (s.pos + planeLines) % lines
+	}
+	s.phase++
+	if s.phase == 3 {
+		s.phase = 0
+		s.pos = (s.pos + 1) % lines
+	}
+	return s.Base + mem.Addr(line*mem.LineBytes), r.Bool(s.StoreFrac)
+}
+
+// Hotspot models skewed temporal locality: a fraction HotFrac of accesses
+// go to a small hot subset at the start of the region, the rest uniformly
+// over the whole footprint. Hot lines are re-touched quickly — the pattern
+// that rewards promotion policies and produces the NR=1/NR=2 tails of
+// Figure 1.
+type Hotspot struct {
+	Base      mem.Addr
+	Bytes     uint64
+	HotBytes  uint64
+	HotFrac   float64
+	StoreFrac float64
+}
+
+// NewHotspot builds a skewed-popularity region.
+func NewHotspot(base mem.Addr, bytes, hotBytes uint64, hotFrac, storeFrac float64) *Hotspot {
+	checkRegion("hotspot", base, bytes)
+	if hotBytes < mem.LineBytes || hotBytes >= bytes {
+		panic("trace: hotspot hot subset must fit inside the footprint")
+	}
+	return &Hotspot{Base: base, Bytes: bytes, HotBytes: hotBytes, HotFrac: hotFrac, StoreFrac: storeFrac}
+}
+
+// Name implements Region.
+func (h *Hotspot) Name() string { return "hotspot" }
+
+// Footprint implements Region.
+func (h *Hotspot) Footprint() (mem.Addr, uint64) { return h.Base, h.Bytes }
+
+// Next implements Region.
+func (h *Hotspot) Next(r *RNG) (mem.Addr, bool) {
+	span := h.Bytes
+	if r.Bool(h.HotFrac) {
+		span = h.HotBytes
+	}
+	line := uint64(r.Intn(int(span / mem.LineBytes)))
+	return h.Base + mem.Addr(line*mem.LineBytes), r.Bool(h.StoreFrac)
+}
+
+// ScanReuse reproduces the soplex rorig pattern of Figure 3: it repeatedly
+// walks a segment [c, r) twice (the rotate loop then the permute loop). With
+// probability ShortFrac the segment is drawn small enough to fit a near
+// sublevel; otherwise it spans far more than the cache, so its second walk
+// still misses.
+type ScanReuse struct {
+	Base       mem.Addr
+	Bytes      uint64
+	ShortBytes uint64
+	ShortFrac  float64
+	StoreFrac  float64
+
+	segBase uint64 // line index of segment start
+	segLen  uint64 // lines in segment
+	pos     uint64 // position within the current walk
+	walk    int    // 0 = first walk, 1 = second walk
+}
+
+// NewScanReuse builds the segment-rewalk region.
+func NewScanReuse(base mem.Addr, bytes, shortBytes uint64, shortFrac, storeFrac float64) *ScanReuse {
+	checkRegion("scanreuse", base, bytes)
+	if shortBytes < mem.LineBytes || shortBytes >= bytes {
+		panic("trace: scan-reuse short segment must fit inside the footprint")
+	}
+	return &ScanReuse{Base: base, Bytes: bytes, ShortBytes: shortBytes, ShortFrac: shortFrac, StoreFrac: storeFrac}
+}
+
+// Name implements Region.
+func (s *ScanReuse) Name() string { return "scanreuse" }
+
+// Footprint implements Region.
+func (s *ScanReuse) Footprint() (mem.Addr, uint64) { return s.Base, s.Bytes }
+
+// Next implements Region.
+func (s *ScanReuse) Next(r *RNG) (mem.Addr, bool) {
+	if s.segLen == 0 {
+		s.pickSegment(r)
+	}
+	line := (s.segBase + s.pos) % (s.Bytes / mem.LineBytes)
+	addr := s.Base + mem.Addr(line*mem.LineBytes)
+	s.pos++
+	if s.pos >= s.segLen {
+		s.pos = 0
+		s.walk++
+		if s.walk == 2 {
+			s.walk = 0
+			s.segLen = 0 // pick a fresh segment next time
+		}
+	}
+	return addr, r.Bool(s.StoreFrac)
+}
+
+func (s *ScanReuse) pickSegment(r *RNG) {
+	lines := s.Bytes / mem.LineBytes
+	shortLines := s.ShortBytes / mem.LineBytes
+	if r.Bool(s.ShortFrac) {
+		// Short segment: between half and the full short size.
+		s.segLen = shortLines/2 + uint64(r.Intn(int(shortLines/2)))
+	} else {
+		// Long segment: several times the cache, so the re-walk misses.
+		s.segLen = lines/2 + uint64(r.Intn(int(lines/2)))
+	}
+	if s.segLen == 0 {
+		s.segLen = 1
+	}
+	s.segBase = uint64(r.Intn(int(lines)))
+}

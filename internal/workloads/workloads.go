@@ -1,0 +1,307 @@
+// Package workloads defines the synthetic stand-ins for the fourteen
+// memory-intensive SPEC-CPU2006 benchmarks the paper evaluates (Section 5,
+// Jaleel's memory-intensive set), plus the eight multiprogrammed mixes of
+// the Figure 16 study.
+//
+// Each benchmark is a seeded, deterministic mixture of region generators
+// whose post-L1 reuse-distance structure follows the paper's description of
+// that benchmark: soplex's segment re-walks and permutation misses
+// (Figure 3), mcf's pointer chasing and phase changes, xalancbmk's sparse
+// touches over a huge footprint (high TLB miss rate), the stencil sweeps of
+// leslie3d/GemsFDTD/cactusADM, lbm's store-heavy streaming, and so on. The
+// substitution argument is in DESIGN.md: SLIP's decisions depend only on
+// per-page reuse-distance distributions, which these mixtures control.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Spec names one benchmark and builds its (unbounded) trace source.
+type Spec struct {
+	Name string
+	// Gap is the mean non-memory instruction gap between accesses.
+	Gap float64
+	// Build constructs the source; equal seeds give identical streams.
+	Build func(seed uint64) trace.Source
+}
+
+// region base addresses: each region lives in its own 4 GiB-aligned arena so
+// pages are pattern-homogeneous (the paper's rd-block assumption).
+func arena(i int) mem.Addr { return mem.Addr(uint64(i+1) << 32) }
+
+const (
+	kb = mem.KB
+	mb = mem.MB
+)
+
+// mixOf assembles a Mix with the benchmark's seed and gap.
+func mixOf(seed uint64, gap float64, items ...trace.MixItem) trace.Source {
+	return trace.NewMix(seed, gap, items...)
+}
+
+// All returns every benchmark in the paper's presentation order.
+func All() []Spec {
+	return []Spec{
+		{
+			// soplex: forest.cc's rotate/permute loops — segment re-walks
+			// that either fit 64KB or blow the cache, and permutation
+			// lookups that almost always miss (Figure 3).
+			Name: "soplex", Gap: 8,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 8,
+					trace.MixItem{Region: trace.NewScanReuse(arena(0), 2*mb, 64*kb, 0.90, 0.3), Weight: 0.30, Burst: 8192},
+					trace.MixItem{Region: trace.NewRandom(arena(1), 3*mb, 0.05), Weight: 0.15, Burst: 4},
+					trace.MixItem{Region: trace.NewScanReuse(arena(2), 2*mb, 64*kb, 0.985, 0.3), Weight: 0.30, Burst: 8192},
+					trace.MixItem{Region: trace.NewStream(arena(3), 4*mb, 2, 0.1), Weight: 0.25, Burst: 16},
+				)
+			},
+		},
+		{
+			// gcc: many small working sets over a modest footprint plus
+			// pass-like streaming.
+			Name: "gcc", Gap: 12,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 12,
+					trace.MixItem{Region: trace.NewLoop(arena(0), 48*kb, 0.2), Weight: 0.15, Burst: 512},
+					trace.MixItem{Region: trace.NewHotspot(arena(1), 1*mb, 128*kb, 0.55, 0.2), Weight: 0.25, Burst: 256},
+					trace.MixItem{Region: trace.NewStream(arena(2), 4*mb, 2, 0.1), Weight: 0.30, Burst: 16},
+					trace.MixItem{Region: trace.NewRandom(arena(3), 2560*kb, 0.1), Weight: 0.20, Burst: 4},
+					trace.MixItem{Region: trace.NewLoop(arena(4), 96*kb, 0.2), Weight: 0.10, Burst: 512},
+				)
+			},
+		},
+		{
+			// xalancbmk: sparse touches across a huge DOM — many pages, few
+			// lines each, the paper's worst TLB-miss-rate workload.
+			Name: "xalancbmk", Gap: 10,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 10,
+					trace.MixItem{Region: trace.NewRandom(arena(0), 6*mb, 0.1), Weight: 0.35, Burst: 2},
+					trace.MixItem{Region: trace.NewHotspot(arena(1), 2*mb, 128*kb, 0.5, 0.1), Weight: 0.35, Burst: 256},
+					trace.MixItem{Region: trace.NewStream(arena(2), 6*mb, 2, 0.1), Weight: 0.30, Burst: 8},
+				)
+			},
+		},
+		{
+			// mcf: dependent pointer chasing over a large arc network, with
+			// a phase whose working set suddenly develops locality — the
+			// case motivating time-based sampling (Section 4.2).
+			Name: "mcf", Gap: 8,
+			Build: func(seed uint64) trace.Source {
+				chaseHeavy := mixOf(seed, 8,
+					trace.MixItem{Region: trace.NewPointerChase(arena(0), 8*mb, 0.2), Weight: 0.55, Burst: 8},
+					trace.MixItem{Region: trace.NewRandom(arena(1), 4*mb, 0.1), Weight: 0.30, Burst: 4},
+					trace.MixItem{Region: trace.NewLoop(arena(2), 48*kb, 0.2), Weight: 0.15, Burst: 512},
+				)
+				localPhase := mixOf(seed^0xfeed, 8,
+					trace.MixItem{Region: trace.NewLoop(arena(3), 96*kb, 0.3), Weight: 0.50, Burst: 512},
+					trace.MixItem{Region: trace.NewPointerChase(arena(0), 8*mb, 0.2), Weight: 0.50, Burst: 8},
+				)
+				return trace.NewPhased(
+					trace.Phase{Source: chaseHeavy, Len: 1_200_000},
+					trace.Phase{Source: localPhase, Len: 600_000},
+				)
+			},
+		},
+		{
+			// leslie3d: plane-sweep stencil whose planes fit the near L2
+			// sublevels, plus grid streaming.
+			Name: "leslie3D", Gap: 10,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 10,
+					trace.MixItem{Region: trace.NewStencil(arena(0), 4*mb, 32*kb, 0.25), Weight: 0.50, Burst: 512},
+					trace.MixItem{Region: trace.NewStream(arena(1), 4*mb, 2, 0.2), Weight: 0.25, Burst: 16},
+					trace.MixItem{Region: trace.NewHotspot(arena(2), 1*mb, 96*kb, 0.5, 0.2), Weight: 0.25, Burst: 256},
+				)
+			},
+		},
+		{
+			// omnetpp: event-heap churn — random touches over a medium heap
+			// with a hot scheduler core.
+			Name: "omnetpp", Gap: 12,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 12,
+					trace.MixItem{Region: trace.NewRandom(arena(0), 2560*kb, 0.2), Weight: 0.35, Burst: 4},
+					trace.MixItem{Region: trace.NewHotspot(arena(1), 1*mb, 96*kb, 0.6, 0.2), Weight: 0.35, Burst: 256},
+					trace.MixItem{Region: trace.NewStream(arena(2), 4*mb, 2, 0.1), Weight: 0.30, Burst: 8},
+				)
+			},
+		},
+		{
+			// astar: pathfinding — pointer walks over the map with a hot
+			// open list.
+			Name: "astar", Gap: 10,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 10,
+					trace.MixItem{Region: trace.NewPointerChase(arena(0), 4*mb, 0.1), Weight: 0.30, Burst: 8},
+					trace.MixItem{Region: trace.NewHotspot(arena(1), 1*mb, 96*kb, 0.6, 0.2), Weight: 0.35, Burst: 256},
+					trace.MixItem{Region: trace.NewRandom(arena(2), 4*mb, 0.1), Weight: 0.35, Burst: 4},
+				)
+			},
+		},
+		{
+			// GemsFDTD: large-plane stencil whose reuse only fits the L3,
+			// plus heavy field streaming.
+			Name: "gemsFDTD", Gap: 10,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 10,
+					trace.MixItem{Region: trace.NewStencil(arena(0), 8*mb, 384*kb, 0.25), Weight: 0.55, Burst: 512},
+					trace.MixItem{Region: trace.NewStream(arena(1), 6*mb, 2, 0.2), Weight: 0.30, Burst: 16},
+					trace.MixItem{Region: trace.NewHotspot(arena(2), 1536*kb, 256*kb, 0.5, 0.2), Weight: 0.15, Burst: 256},
+				)
+			},
+		},
+		{
+			// sphinx3: acoustic-model scoring — a ~100KB model looped
+			// intensely over streamed feature frames.
+			Name: "sphinx3", Gap: 12,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 12,
+					trace.MixItem{Region: trace.NewHotspot(arena(0), 512*kb, 128*kb, 0.65, 0.05), Weight: 0.40, Burst: 256},
+					trace.MixItem{Region: trace.NewLoop(arena(1), 48*kb, 0.05), Weight: 0.15, Burst: 512},
+					trace.MixItem{Region: trace.NewStream(arena(2), 4*mb, 2, 0.05), Weight: 0.30, Burst: 8},
+					trace.MixItem{Region: trace.NewHotspot(arena(3), 2*mb, 96*kb, 0.5, 0.05), Weight: 0.15, Burst: 256},
+				)
+			},
+		},
+		{
+			// wrf: weather stencil with medium planes.
+			Name: "wrf", Gap: 12,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 12,
+					trace.MixItem{Region: trace.NewStencil(arena(0), 4*mb, 96*kb, 0.25), Weight: 0.50, Burst: 512},
+					trace.MixItem{Region: trace.NewStream(arena(1), 4*mb, 2, 0.2), Weight: 0.25, Burst: 16},
+					trace.MixItem{Region: trace.NewHotspot(arena(2), 768*kb, 96*kb, 0.5, 0.2), Weight: 0.25, Burst: 256},
+				)
+			},
+		},
+		{
+			// milc: lattice QCD — almost pure long-vector streaming; the
+			// canonical NR=0 workload.
+			Name: "milc", Gap: 10,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 10,
+					trace.MixItem{Region: trace.NewStream(arena(0), 8*mb, 2, 0.3), Weight: 0.60, Burst: 32},
+					trace.MixItem{Region: trace.NewStream(arena(1), 4*mb, 2, 0.1), Weight: 0.25, Burst: 16},
+					trace.MixItem{Region: trace.NewHotspot(arena(2), 1*mb, 128*kb, 0.4, 0.1), Weight: 0.15, Burst: 256},
+				)
+			},
+		},
+		{
+			// cactusADM: relativity stencil with planes around the full L2
+			// capacity.
+			Name: "cactusADM", Gap: 12,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 12,
+					trace.MixItem{Region: trace.NewStencil(arena(0), 6*mb, 192*kb, 0.3), Weight: 0.50, Burst: 512},
+					trace.MixItem{Region: trace.NewLoop(arena(1), 192*kb, 0.2), Weight: 0.20, Burst: 512},
+					trace.MixItem{Region: trace.NewStream(arena(2), 4*mb, 2, 0.2), Weight: 0.20, Burst: 16},
+					trace.MixItem{Region: trace.NewHotspot(arena(3), 768*kb, 128*kb, 0.5, 0.2), Weight: 0.10, Burst: 256},
+				)
+			},
+		},
+		{
+			// bzip2: block-sorting working sets that fit the L3 but not the
+			// L2.
+			Name: "bzip2", Gap: 12,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 12,
+					trace.MixItem{Region: trace.NewLoop(arena(0), 224*kb, 0.3), Weight: 0.30, Burst: 512},
+					trace.MixItem{Region: trace.NewStream(arena(1), 4*mb, 2, 0.2), Weight: 0.25, Burst: 16},
+					trace.MixItem{Region: trace.NewHotspot(arena(2), 1*mb, 128*kb, 0.5, 0.3), Weight: 0.35, Burst: 256},
+					trace.MixItem{Region: trace.NewRandom(arena(3), 2*mb, 0.2), Weight: 0.10, Burst: 4},
+				)
+			},
+		},
+		{
+			// lbm: lattice-Boltzmann — store-heavy streaming over two large
+			// grids.
+			Name: "lbm", Gap: 8,
+			Build: func(seed uint64) trace.Source {
+				return mixOf(seed, 8,
+					trace.MixItem{Region: trace.NewStream(arena(0), 8*mb, 2, 0.45), Weight: 0.55, Burst: 32},
+					trace.MixItem{Region: trace.NewStream(arena(1), 8*mb, 2, 0.2), Weight: 0.30, Burst: 32},
+					trace.MixItem{Region: trace.NewHotspot(arena(2), 768*kb, 96*kb, 0.5, 0.2), Weight: 0.15, Burst: 256},
+				)
+			},
+		},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists all benchmark names in order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Fig1Set is the seven-benchmark subset Figure 1 breaks down.
+func Fig1Set() []string {
+	return []string{"soplex", "gcc", "mcf", "xalancbmk", "leslie3D", "omnetpp", "sphinx3"}
+}
+
+// Mix is one two-core multiprogrammed workload of Figure 16.
+type Mix struct{ A, B string }
+
+// Name renders the mix label.
+func (m Mix) Name() string { return fmt.Sprintf("%s+%s", m.A, m.B) }
+
+// Mixes returns the eight two-benchmark combinations of the multicore
+// study.
+func Mixes() []Mix {
+	return []Mix{
+		{"soplex", "mcf"},
+		{"xalancbmk", "gcc"},
+		{"leslie3D", "soplex"},
+		{"omnetpp", "mcf"},
+		{"cactusADM", "bzip2"},
+		{"milc", "sphinx3"},
+		{"lbm", "gcc"},
+		{"astar", "gemsFDTD"},
+	}
+}
+
+// Validate sanity-checks the registry (unique names, valid mixes); it backs
+// the package tests and the CLI's --list path.
+func Validate() error {
+	names := Names()
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return fmt.Errorf("workloads: duplicate benchmark %q", sorted[i])
+		}
+	}
+	for _, f := range Fig1Set() {
+		if _, ok := ByName(f); !ok {
+			return fmt.Errorf("workloads: Fig1 benchmark %q unknown", f)
+		}
+	}
+	for _, m := range Mixes() {
+		if _, ok := ByName(m.A); !ok {
+			return fmt.Errorf("workloads: mix member %q unknown", m.A)
+		}
+		if _, ok := ByName(m.B); !ok {
+			return fmt.Errorf("workloads: mix member %q unknown", m.B)
+		}
+	}
+	return nil
+}

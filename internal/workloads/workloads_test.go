@@ -1,0 +1,190 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/reuse"
+	"repro/internal/trace"
+)
+
+func TestRegistryValid(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(All()) != 14 {
+		t.Errorf("benchmark count = %d, want the paper's 14", len(All()))
+	}
+	if len(Mixes()) != 8 {
+		t.Errorf("mix count = %d, want 8", len(Mixes()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("mcf")
+	if !ok || s.Name != "mcf" {
+		t.Fatal("mcf lookup failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown benchmark found")
+	}
+}
+
+func TestEveryBenchmarkProducesAccesses(t *testing.T) {
+	for _, spec := range All() {
+		src := spec.Build(3)
+		seen := map[mem.PageID]bool{}
+		stores := 0
+		for i := 0; i < 20000; i++ {
+			a, ok := src.Next()
+			if !ok {
+				t.Fatalf("%s: source exhausted", spec.Name)
+			}
+			seen[a.Addr.Page()] = true
+			if a.Store {
+				stores++
+			}
+		}
+		if len(seen) < 8 {
+			t.Errorf("%s: only %d distinct pages in 20k accesses", spec.Name, len(seen))
+		}
+		if stores == 0 {
+			t.Errorf("%s: no stores at all", spec.Name)
+		}
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, spec := range All() {
+		a, b := spec.Build(5), spec.Build(5)
+		for i := 0; i < 2000; i++ {
+			x, _ := a.Next()
+			y, _ := b.Next()
+			if x != y {
+				t.Fatalf("%s: diverged at access %d", spec.Name, i)
+			}
+		}
+	}
+}
+
+func TestSeedsChangeStreams(t *testing.T) {
+	spec, _ := ByName("omnetpp")
+	a, b := spec.Build(1), spec.Build(2)
+	same := true
+	for i := 0; i < 500 && same; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		same = x == y
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestMilcIsStreamDominated: milc is the canonical NR=0 workload — almost
+// every line reference is a first touch or a beyond-LLC reuse.
+func TestMilcIsStreamDominated(t *testing.T) {
+	spec, _ := ByName("milc")
+	src := spec.Build(7)
+	calc := reuse.NewCalculator(1 << 18)
+	h := reuse.NewHistogram([]uint64{mem.LinesIn(2 * mem.MB)})
+	var prev mem.LineAddr = ^mem.LineAddr(0)
+	for i := 0; i < 120_000; i++ {
+		a, _ := src.Next()
+		// Collapse the word-granular touches the L1 absorbs; only line
+		// transitions matter at LLC scale.
+		if l := a.Addr.Line(); l != prev {
+			h.Observe(calc.Observe(l))
+			prev = l
+		}
+	}
+	if fr := h.Fractions(); fr[1] < 0.6 {
+		t.Errorf("milc beyond-LLC fraction = %.2f, want > 0.6", fr[1])
+	}
+}
+
+// TestSphinx3HasNearReuse: sphinx3's acoustic-model hotspot gives it a
+// solid body of reuses that fit the LLC.
+func TestSphinx3HasNearReuse(t *testing.T) {
+	spec, _ := ByName("sphinx3")
+	src := spec.Build(7)
+	calc := reuse.NewCalculator(1 << 18)
+	h := reuse.NewHistogram([]uint64{mem.LinesIn(2 * mem.MB)})
+	for i := 0; i < 200_000; i++ {
+		a, _ := src.Next()
+		if d := calc.Observe(a.Addr.Line()); d != reuse.Infinite {
+			h.Observe(d)
+		}
+	}
+	if fr := h.Fractions(); fr[0] < 0.3 {
+		t.Errorf("sphinx3 LLC-fitting reuse fraction = %.2f, want > 0.3", fr[0])
+	}
+}
+
+// TestMcfHasPhases: mcf's second phase shifts traffic to a new arena.
+func TestMcfHasPhases(t *testing.T) {
+	spec, _ := ByName("mcf")
+	src := spec.Build(7)
+	loopArena := mem.Addr(4 << 32) // arena(3)
+	inFirst, inSecond := 0, 0
+	for i := 0; i < 1_900_000; i++ {
+		a, _ := src.Next()
+		hit := a.Addr >= loopArena && a.Addr < loopArena+(1<<32)
+		if i < 1_200_000 {
+			if hit {
+				inFirst++
+			}
+		} else if hit {
+			inSecond++
+		}
+	}
+	if inFirst != 0 {
+		t.Errorf("phase-B arena touched %d times during phase A", inFirst)
+	}
+	if inSecond == 0 {
+		t.Error("phase-B arena never touched in phase B")
+	}
+}
+
+// TestArenasAreDisjoint: every region of every benchmark lives in its own
+// 4GiB arena, keeping pages pattern-homogeneous.
+func TestArenasAreDisjoint(t *testing.T) {
+	for _, spec := range All() {
+		src := spec.Build(11)
+		arenas := map[uint64]bool{}
+		for i := 0; i < 50_000; i++ {
+			a, _ := src.Next()
+			arenas[uint64(a.Addr)>>32] = true
+		}
+		if len(arenas) < 2 {
+			t.Errorf("%s: all traffic in one arena", spec.Name)
+		}
+	}
+}
+
+// TestGapsMatchSpec: the instruction gaps average near the declared value.
+func TestGapsMatchSpec(t *testing.T) {
+	spec, _ := ByName("gcc")
+	src := spec.Build(13)
+	sum := 0.0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		a, _ := src.Next()
+		sum += float64(a.Gap)
+	}
+	mean := sum / n
+	if mean < spec.Gap*0.8 || mean > spec.Gap*1.2 {
+		t.Errorf("gcc mean gap = %.1f, spec %.1f", mean, spec.Gap)
+	}
+}
+
+var sinkAccess trace.Access
+
+func BenchmarkGeneratorThroughput(b *testing.B) {
+	spec, _ := ByName("soplex")
+	src := spec.Build(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkAccess, _ = src.Next()
+	}
+}
