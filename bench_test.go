@@ -6,6 +6,7 @@
 package main
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -36,6 +37,31 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		a, _ := src.Next()
 		sys.Access(0, a)
+	}
+}
+
+// suiteMatrix runs the BenchmarkSuiteParallel workload: the bench-sized
+// benchmark set against two policies, at the given pool width.
+func suiteMatrix(parallelism int) {
+	opts := benchOpts()
+	opts.Accesses = 100_000
+	opts.Warmup = 100_000
+	opts.Parallelism = parallelism
+	s := experiments.NewSuite(opts)
+	s.RunAll(hier.Baseline, hier.SLIPABP)
+}
+
+// BenchmarkSuiteParallel measures the wall-clock of fanning the benchmark x
+// policy matrix over the worker pool, per pool width. The sequential
+// sub-benchmark (workers=1) is the baseline for the speedup figure
+// cmd/suitebench reports.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				suiteMatrix(workers)
+			}
+		})
 	}
 }
 

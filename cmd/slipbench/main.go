@@ -5,13 +5,19 @@
 // Usage:
 //
 //	slipbench [-exp all|fig1,fig3,table2,htree,fig9,...] [-accesses N]
-//	          [-seed N] [-benchmarks a,b,c]
+//	          [-seed N] [-benchmarks a,b,c] [-parallel N]
+//
+// With -parallel > 1 the union of simulations the selected experiments
+// need is fanned over a bounded worker pool before any table is printed;
+// results are bit-identical to a sequential run (each simulation stays on
+// one goroutine).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,12 +27,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: fig1,fig3,table2,htree,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,tech22,binwidth,sampling")
-		acc     = flag.Uint64("accesses", 2_000_000, "measured accesses per benchmark")
-		warmup  = flag.Int64("warmup", -1, "warmup accesses before measurement (-1 = same as -accesses)")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiments: fig1,fig3,table2,htree,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,tech22,binwidth,sampling")
+		acc      = flag.Uint64("accesses", 2_000_000, "measured accesses per benchmark")
+		warmup   = flag.Int64("warmup", -1, "warmup accesses before measurement (-1 = same as -accesses)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for simulations (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -41,7 +48,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Accesses: *acc, Seed: *seed, Out: os.Stdout}
+	opts := experiments.Options{Accesses: *acc, Seed: *seed, Parallelism: *parallel, Out: os.Stdout}
 	if *warmup >= 0 {
 		opts.Warmup = uint64(*warmup)
 		opts.WarmupSet = true
@@ -83,14 +90,29 @@ func main() {
 	} else {
 		names = strings.Split(*exp, ",")
 	}
-	for _, n := range names {
-		run, ok := runners[strings.TrimSpace(n)]
-		if !ok {
+	for i, n := range names {
+		names[i] = strings.TrimSpace(n)
+		if _, ok := runners[names[i]]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", n)
 			os.Exit(1)
 		}
+	}
+
+	// Simulate the union of runs the selected experiments need up front,
+	// over the worker pool; the experiments below then only read the memo
+	// cache and print. Sequential (-parallel 1) skips the prefetch pass so
+	// per-experiment timings reflect their own simulations.
+	if *parallel > 1 {
+		specs := suite.SpecsForAll(names)
 		start := time.Now()
-		run()
+		suite.Prefetch(specs)
+		fmt.Printf("[prefetched %d runs on %d workers in %v]\n\n",
+			len(specs), *parallel, time.Since(start).Round(time.Millisecond))
+	}
+
+	for _, n := range names {
+		start := time.Now()
+		runners[n]()
 		fmt.Printf("[%s done in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
 }

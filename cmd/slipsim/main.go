@@ -6,13 +6,18 @@
 //
 //	slipsim -workload soplex -policy slip+abp [-accesses N] [-warmup N]
 //	        [-seed N] [-cores 2 -workload2 mcf] [-rrip] [-binbits 4]
+//	        [-cpuprofile cpu.out]
 //	slipsim -trace file.trc -policy baseline     # replay a tracegen file
+//
+// -cpuprofile writes a pprof CPU profile covering warmup + measurement;
+// inspect it with `go tool pprof -top cpu.out`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/hier"
 	"repro/internal/stats"
@@ -49,8 +54,23 @@ func main() {
 		rrip     = flag.Bool("rrip", false, "use SRRIP replacement instead of LRU")
 		binBits  = flag.Uint("binbits", 0, "distribution counter width (0 = default 4)")
 		traceIn  = flag.String("trace", "", "replay a binary trace file instead of a workload")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	pol, err := parsePolicy(*policyFl)
 	if err != nil {
@@ -126,11 +146,6 @@ func report(sys *hier.System, pol hier.PolicyKind) {
 
 	tb := stats.NewTable("Per-level summary", "level", "accesses", "hit rate", "access pJ", "movement pJ", "metadata pJ", "total uJ")
 	for c := 0; c < cfg.NumCores; c++ {
-		for _, lvl := range []interface {
-			Name() string
-		}{sys.L1(c), sys.L2(c)} {
-			_ = lvl
-		}
 		l1, l2 := sys.L1(c), sys.L2(c)
 		tb.AddRow(fmt.Sprintf("core%d L1", c),
 			fmt.Sprintf("%d", l1.Stats.Accesses.Value()),

@@ -1,0 +1,135 @@
+// Command suitebench measures simulator throughput and the parallel
+// experiment engine, writing the numbers to a JSON file (default
+// BENCH_suite.json) so CI and EXPERIMENTS.md can track them:
+//
+//   - ns per simulated access and accesses/second through the full
+//     SLIP+ABP system on one goroutine;
+//   - wall-clock of the benchmark x policy matrix sequentially and on the
+//     worker pool, and the resulting speedup.
+//
+// Usage:
+//
+//	suitebench [-accesses N] [-warmup N] [-benchmarks a,b,c]
+//	           [-parallel N] [-out BENCH_suite.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/hier"
+	"repro/internal/workloads"
+)
+
+// result is the JSON schema of BENCH_suite.json.
+type result struct {
+	// Single-goroutine simulator hot path.
+	SingleThreadNsPerAccess float64 `json:"single_thread_ns_per_access"`
+	SingleThreadAccessesSec float64 `json:"single_thread_accesses_per_sec"`
+	SingleThreadAccesses    uint64  `json:"single_thread_accesses"`
+
+	// Benchmark x policy matrix through the experiment engine.
+	MatrixRuns       int     `json:"matrix_runs"`
+	SequentialNs     int64   `json:"sequential_ns"`
+	ParallelNs       int64   `json:"parallel_ns"`
+	ParallelWorkers  int     `json:"parallel_workers"`
+	Speedup          float64 `json:"speedup"`
+	AccessesPerRun   uint64  `json:"accesses_per_run"`
+	WarmupPerRun     uint64  `json:"warmup_per_run"`
+	MatrixBenchmarks string  `json:"matrix_benchmarks"`
+}
+
+// timeMatrix simulates the matrix on a fresh suite and returns wall-clock.
+func timeMatrix(opts experiments.Options, pols []hier.PolicyKind) time.Duration {
+	s := experiments.NewSuite(opts)
+	start := time.Now()
+	s.RunAll(pols...)
+	return time.Since(start)
+}
+
+func main() {
+	var (
+		acc      = flag.Uint64("accesses", 150_000, "measured accesses per matrix run")
+		warm     = flag.Uint64("warmup", 150_000, "warmup accesses per matrix run")
+		benches  = flag.String("benchmarks", "soplex,milc,sphinx3,mcf", "matrix benchmark set")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the parallel pass")
+		single   = flag.Uint64("single", 2_000_000, "accesses for the single-thread throughput pass")
+		out      = flag.String("out", "BENCH_suite.json", "output JSON path")
+	)
+	flag.Parse()
+
+	// Single-thread hot-path throughput (the BenchmarkSimulatorThroughput
+	// configuration: soplex under SLIP+ABP).
+	spec, ok := workloads.ByName("soplex")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "soplex workload missing")
+		os.Exit(1)
+	}
+	sys := hier.New(hier.Config{Policy: hier.SLIPABP, Seed: 1})
+	src := spec.Build(1)
+	start := time.Now()
+	for i := uint64(0); i < *single; i++ {
+		a, _ := src.Next()
+		sys.Access(0, a)
+	}
+	elapsed := time.Since(start)
+
+	res := result{
+		SingleThreadAccesses:    *single,
+		SingleThreadNsPerAccess: float64(elapsed.Nanoseconds()) / float64(*single),
+		SingleThreadAccessesSec: float64(*single) / elapsed.Seconds(),
+	}
+
+	// Matrix wall-clock, sequential vs pooled. Fresh suites per pass so the
+	// memo cache cannot leak work between them.
+	opts := experiments.Options{
+		Accesses:   *acc,
+		Warmup:     *warm,
+		WarmupSet:  true,
+		Seed:       7,
+		Benchmarks: strings.Split(*benches, ","),
+	}
+	pols := []hier.PolicyKind{hier.Baseline, hier.SLIPABP}
+	res.MatrixRuns = len(opts.Benchmarks) * len(pols)
+	res.AccessesPerRun = *acc
+	res.WarmupPerRun = *warm
+	res.MatrixBenchmarks = *benches
+	res.ParallelWorkers = *parallel
+
+	seqOpts := opts
+	seqOpts.Parallelism = 1
+	seq := timeMatrix(seqOpts, pols)
+
+	parOpts := opts
+	parOpts.Parallelism = *parallel
+	par := timeMatrix(parOpts, pols)
+
+	res.SequentialNs = seq.Nanoseconds()
+	res.ParallelNs = par.Nanoseconds()
+	if par > 0 {
+		res.Speedup = seq.Seconds() / par.Seconds()
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("single-thread: %.1f ns/access (%.2fM accesses/s)\n",
+		res.SingleThreadNsPerAccess, res.SingleThreadAccessesSec/1e6)
+	fmt.Printf("matrix (%d runs): sequential %v, parallel %v on %d workers — %.2fx\n",
+		res.MatrixRuns, seq.Round(time.Millisecond), par.Round(time.Millisecond),
+		*parallel, res.Speedup)
+	fmt.Printf("wrote %s\n", *out)
+}

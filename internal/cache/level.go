@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -108,6 +109,14 @@ type Level struct {
 	repl    Repl
 	mq      *MovementQueue
 	est     *core.RDEstimator
+	// tags is the packed tag array: tags[set*ways+way] mirrors
+	// sets[set][way].Addr. Lookups scan this contiguous row instead of the
+	// much larger Line structs, so a 16-way probe touches two cache lines
+	// instead of eight.
+	tags []mem.LineAddr
+	// valid mirrors per-line Valid bits as one mask per set, letting lookup
+	// and victim selection skip invalid ways with bit arithmetic.
+	valid []WayMask
 	// T is the level access counter driving timestamps (Section 4.1).
 	T uint64
 
@@ -137,6 +146,8 @@ func New(cfg Config) *Level {
 	for i := range l.sets {
 		l.sets[i] = make([]Line, ways)
 	}
+	l.tags = make([]mem.LineAddr, numSets*ways)
+	l.valid = make([]WayMask, numSets)
 	if cfg.UseRRIP {
 		l.repl = NewRRIP(numSets, ways, 2)
 	} else {
@@ -242,39 +253,47 @@ func (l *Level) Access(a mem.LineAddr, store bool) AccessResult {
 	l.Stats.Accesses.Inc()
 	l.chargeMQ()
 	set := l.SetOf(a)
-	for w := range l.sets[set] {
+	if w := l.findWay(set, a); w >= 0 {
 		ln := &l.sets[set][w]
-		if ln.Valid && ln.Addr == a {
-			l.Stats.Hits.Inc()
-			sub := l.cfg.Params.WaySublevel(w)
-			l.Stats.HitsPerSublevel[sub]++
-			l.Stats.AccessPJ.AddPJ(l.cfg.Params.WayAccessPJ[w])
-			l.chargeMeta()
-			rd := l.est.RDLines(l.T, ln.Meta.TL)
-			wasSampling := ln.Meta.Sampling
-			ln.Meta.TL = l.est.Stamp(l.T)
-			ln.Reuses++
-			if store {
-				ln.Dirty = true
-			}
-			l.repl.OnHit(set, w)
-			return AccessResult{Hit: true, Way: w, Set: set, Sublevel: sub,
-				RDLines: rd, WasSampling: wasSampling}
+		l.Stats.Hits.Inc()
+		sub := l.cfg.Params.WaySublevel(w)
+		l.Stats.HitsPerSublevel[sub]++
+		l.Stats.AccessPJ.AddPJ(l.cfg.Params.WayAccessPJ[w])
+		l.chargeMeta()
+		rd := l.est.RDLines(l.T, ln.Meta.TL)
+		wasSampling := ln.Meta.Sampling
+		ln.Meta.TL = l.est.Stamp(l.T)
+		ln.Reuses++
+		if store {
+			ln.Dirty = true
 		}
+		l.repl.OnHit(set, w)
+		return AccessResult{Hit: true, Way: w, Set: set, Sublevel: sub,
+			RDLines: rd, WasSampling: wasSampling}
 	}
 	l.Stats.Misses.Inc()
 	return AccessResult{Hit: false, Set: set}
+}
+
+// findWay returns the way holding line a in set, or -1. It scans the packed
+// tag row restricted to valid ways — the innermost loop of the simulator.
+func (l *Level) findWay(set int, a mem.LineAddr) int {
+	row := l.tags[set*l.ways : set*l.ways+l.ways]
+	for v := uint32(l.valid[set]); v != 0; v &= v - 1 {
+		w := bits.TrailingZeros32(v)
+		if row[w] == a {
+			return w
+		}
+	}
+	return -1
 }
 
 // Probe reports whether a is resident without touching any state (the
 // lookup used by invalidations and by tests).
 func (l *Level) Probe(a mem.LineAddr) (way int, hit bool) {
 	set := l.SetOf(a)
-	for w := range l.sets[set] {
-		ln := &l.sets[set][w]
-		if ln.Valid && ln.Addr == a {
-			return w, true
-		}
+	if w := l.findWay(set, a); w >= 0 {
+		return w, true
 	}
 	return -1, false
 }
@@ -285,10 +304,8 @@ func (l *Level) VictimIn(set int, mask WayMask) int {
 	if mask == 0 {
 		panic("cache: VictimIn with empty mask")
 	}
-	for w := 0; w < l.ways; w++ {
-		if mask.Has(w) && !l.sets[set][w].Valid {
-			return w
-		}
+	if free := mask &^ l.valid[set]; free != 0 {
+		return bits.TrailingZeros32(uint32(free))
 	}
 	return l.repl.Victim(set, mask)
 }
@@ -301,14 +318,13 @@ func (l *Level) VictimPrefer(set int, mask WayMask, pred func(Line) bool) int {
 	if mask == 0 {
 		panic("cache: VictimPrefer with empty mask")
 	}
-	for w := 0; w < l.ways; w++ {
-		if mask.Has(w) && !l.sets[set][w].Valid {
-			return w
-		}
+	if free := mask &^ l.valid[set]; free != 0 {
+		return bits.TrailingZeros32(uint32(free))
 	}
 	var preferred WayMask
-	for w := 0; w < l.ways; w++ {
-		if mask.Has(w) && pred(l.sets[set][w]) {
+	for v := uint32(mask); v != 0; v &= v - 1 {
+		w := bits.TrailingZeros32(v)
+		if pred(l.sets[set][w]) {
 			preferred |= 1 << w
 		}
 	}
@@ -335,6 +351,8 @@ func (l *Level) Fill(set, way int, a mem.LineAddr, dirty bool, meta Meta) (evict
 	evicted = *ln
 	meta.TL = l.est.Stamp(l.T)
 	*ln = Line{Valid: true, Addr: a, Dirty: dirty, Meta: meta}
+	l.tags[set*l.ways+way] = a
+	l.valid[set] |= 1 << way
 	l.Stats.Fills.Inc()
 	l.Stats.MovementPJ.AddPJ(l.cfg.Params.WayAccessPJ[way])
 	l.chargeMeta()
@@ -359,6 +377,8 @@ func (l *Level) Move(set, from, to int) (displaced Line, stalled bool) {
 	dst := &l.sets[set][to]
 	displaced = *dst
 	*dst = moved
+	l.tags[set*l.ways+to] = moved.Addr
+	l.valid[set] = l.valid[set]&^(1<<from) | 1<<to
 	l.Stats.Movements.Inc()
 	l.Stats.MovementPJ.AddPJ(l.cfg.Params.WayAccessPJ[from] + l.cfg.Params.WayAccessPJ[to])
 	l.chargeMeta()
@@ -381,6 +401,8 @@ func (l *Level) Swap(set, w1, w2 int) (stalled bool) {
 		panic("cache: swapping an invalid line")
 	}
 	*a, *b = *b, *a
+	i1, i2 := set*l.ways+w1, set*l.ways+w2
+	l.tags[i1], l.tags[i2] = l.tags[i2], l.tags[i1]
 	l.Stats.Movements.Add(2)
 	l.Stats.MovementPJ.AddPJ(2 * (l.cfg.Params.WayAccessPJ[w1] + l.cfg.Params.WayAccessPJ[w2]))
 	l.chargeMeta()
@@ -414,14 +436,11 @@ func (l *Level) NoteBypass() { l.Stats.Bypasses.Inc() }
 // is not a demand reference). It reports whether the line was resident.
 func (l *Level) WritebackTo(a mem.LineAddr) bool {
 	set := l.SetOf(a)
-	for w := range l.sets[set] {
-		ln := &l.sets[set][w]
-		if ln.Valid && ln.Addr == a {
-			ln.Dirty = true
-			l.Stats.MovementPJ.AddPJ(l.cfg.Params.WayAccessPJ[w])
-			l.chargeMeta()
-			return true
-		}
+	if w := l.findWay(set, a); w >= 0 {
+		l.sets[set][w].Dirty = true
+		l.Stats.MovementPJ.AddPJ(l.cfg.Params.WayAccessPJ[w])
+		l.chargeMeta()
+		return true
 	}
 	return false
 }
@@ -434,13 +453,12 @@ func (l *Level) Invalidate(a mem.LineAddr) (Line, bool) {
 		l.Stats.MetadataPJ.AddPJ(l.mq.Lookup(l.T))
 	}
 	set := l.SetOf(a)
-	for w := range l.sets[set] {
+	if w := l.findWay(set, a); w >= 0 {
 		ln := &l.sets[set][w]
-		if ln.Valid && ln.Addr == a {
-			out := *ln
-			ln.Valid = false
-			return out, true
-		}
+		out := *ln
+		ln.Valid = false
+		l.valid[set] &^= 1 << w
+		return out, true
 	}
 	return Line{}, false
 }

@@ -1,6 +1,9 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Repl chooses victims within a set, restricted to a way mask — the form of
 // replacement SLIP needs (Section 7): a victim from any subset of ways.
@@ -52,14 +55,13 @@ func (l *lru) OnFill(set, way int) {
 // Victim implements Repl.
 func (l *lru) Victim(set int, mask WayMask) int {
 	best, bestStamp := -1, ^uint64(0)
-	// Ascending iteration picks the lowest eligible way on stamp ties, so
-	// untouched masks victimize deterministically. Bits are walked inline
-	// to keep this allocation-free on the per-miss hot path.
+	// Ascending bit iteration picks the lowest eligible way on stamp ties,
+	// so untouched masks victimize deterministically. Walking set bits
+	// directly keeps this allocation-free and skips unmasked ways entirely
+	// on the per-miss hot path.
 	row := l.stamp[set]
-	for w := 0; w < len(row); w++ {
-		if !mask.Has(w) {
-			continue
-		}
+	for v := uint32(mask); v != 0; v &= v - 1 {
+		w := bits.TrailingZeros32(v)
 		if s := row[w]; best == -1 || s < bestStamp {
 			best, bestStamp = w, s
 		}
@@ -112,17 +114,15 @@ func (r *rrip) Victim(set int, mask WayMask) int {
 	}
 	row := r.rrpv[set]
 	for {
-		for w := 0; w < len(row); w++ {
-			if mask.Has(w) && row[w] == r.max {
+		for v := uint32(mask); v != 0; v &= v - 1 {
+			if w := bits.TrailingZeros32(v); row[w] == r.max {
 				return w
 			}
 		}
 		// Age only the masked ways; unmasked sublevels keep their own
 		// recency state, preserving per-sublevel scan resistance.
-		for w := 0; w < len(row); w++ {
-			if mask.Has(w) {
-				row[w]++
-			}
+		for v := uint32(mask); v != 0; v &= v - 1 {
+			row[bits.TrailingZeros32(v)]++
 		}
 	}
 }

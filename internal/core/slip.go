@@ -226,13 +226,16 @@ func AllBypass() SLIP { return SLIP{} }
 // re-enumerating (CodeOf is O(2^S) per call; the simulator encodes on every
 // insertion).
 type Encoder struct {
-	s     int
-	slips []SLIP
+	s       int
+	slips   []SLIP
+	defCode uint8
 }
 
 // NewEncoder builds the code table for S sublevels.
 func NewEncoder(S int) *Encoder {
-	return &Encoder{s: S, slips: Enumerate(S)}
+	e := &Encoder{s: S, slips: Enumerate(S)}
+	e.defCode = e.Code(DefaultSLIP(S))
+	return e
 }
 
 // Code returns the S-bit code of sl; it panics for a foreign SLIP.
@@ -253,5 +256,8 @@ func (e *Encoder) Decode(code uint8) SLIP {
 	return e.slips[code]
 }
 
-// DefaultCode returns the Default SLIP's code.
-func (e *Encoder) DefaultCode() uint8 { return e.Code(DefaultSLIP(e.s)) }
+// DefaultCode returns the Default SLIP's code. The code is computed once at
+// construction: this accessor sits on the per-insertion hot path (every
+// sampling or unclassified page inserts with the Default SLIP), where
+// rebuilding and re-encoding the policy allocated on every access.
+func (e *Encoder) DefaultCode() uint8 { return e.defCode }

@@ -153,20 +153,12 @@ type HTreeResult struct {
 // L2 energy by ~37% and L3 energy by ~32% at identical performance, by
 // simulating the baseline policy under both topologies.
 func (s *Suite) HTree() HTreeResult {
-	mkHTree := func() hier.Config {
-		return hier.Config{
-			Policy:   hier.Baseline,
-			Seed:     s.opts.Seed,
-			L2Params: energy.UniformParams(energy.L2Grid45(), energy.HTree, []int{4, 4, 8}, 7, 1),
-			L3Params: energy.UniformParams(energy.L3Grid45(), energy.HTree, []int{4, 4, 8}, 20, 2.5),
-		}
-	}
 	var l2Over, l3Over, speed []float64
 	tb := stats.NewTable("Section 2.1: H-tree interconnect vs way-interleaved bus",
 		"bench", "L2 overhead", "L3 overhead")
 	for _, name := range s.opts.Benchmarks {
 		base := s.Run(name, hier.Baseline)
-		ht := s.RunWith(name, hier.Baseline, "htree", mkHTree)
+		ht := s.RunWith(name, hier.Baseline, "htree", s.mkHTree())
 		o2 := 100 * (ht.L2TotalPJ()/base.L2TotalPJ() - 1)
 		o3 := 100 * (ht.L3TotalPJ()/base.L3TotalPJ() - 1)
 		l2Over = append(l2Over, o2)

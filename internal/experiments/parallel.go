@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/hier"
+	"repro/internal/workloads"
+)
+
+// RunSpec names one simulation the Suite can perform: either a single-core
+// workload/policy/variant run or (when Mix is set) a two-core mix run. A
+// nil Mk means the default configuration for the policy.
+type RunSpec struct {
+	Workload string
+	Policy   hier.PolicyKind
+	Variant  string
+	Mk       func() hier.Config
+	Mix      *workloads.Mix
+}
+
+// key is the memo key the spec will occupy, matching Run/RunWith/RunMix.
+func (sp RunSpec) key() string {
+	if sp.Mix != nil {
+		return runKey("mix:"+sp.Mix.Name(), sp.Policy, "")
+	}
+	return runKey(sp.Workload, sp.Policy, sp.Variant)
+}
+
+// validate panics (with the valid workload set) on a bad spec. Prefetch
+// validates every spec up front, in the caller's goroutine, so a typo
+// surfaces as an ordinary panic instead of crashing a worker.
+func (sp RunSpec) validate() {
+	if sp.Mix != nil {
+		mustSpec(sp.Mix.A)
+		mustSpec(sp.Mix.B)
+		return
+	}
+	mustSpec(sp.Workload)
+}
+
+// run executes the spec through the memoizing entry points.
+func (s *Suite) run(sp RunSpec) *hier.System {
+	switch {
+	case sp.Mix != nil:
+		return s.RunMix(*sp.Mix, sp.Policy)
+	case sp.Mk != nil:
+		return s.RunWith(sp.Workload, sp.Policy, sp.Variant, sp.Mk)
+	default:
+		return s.Run(sp.Workload, sp.Policy)
+	}
+}
+
+// Prefetch simulates the given specs over a worker pool bounded by
+// Options.Parallelism and leaves the results in the memo cache; subsequent
+// Run/RunWith/RunMix calls for the same keys return instantly. Duplicate
+// specs are collapsed by the singleflight cache. Each simulation runs
+// entirely on one worker goroutine, so results are bit-identical to a
+// sequential execution of the same specs.
+func (s *Suite) Prefetch(specs []RunSpec) {
+	for _, sp := range specs {
+		sp.validate()
+	}
+	n := s.opts.Parallelism
+	if n > len(specs) {
+		n = len(specs)
+	}
+	if n < 1 {
+		n = 1
+	}
+	ch := make(chan RunSpec)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range ch {
+				s.run(sp)
+			}
+		}()
+	}
+	for _, sp := range specs {
+		ch <- sp
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// RunAll fans the full benchmark x policy matrix (the suite's configured
+// benchmark set against the given policies) over the worker pool and
+// returns the simulated systems keyed by workload then policy. It is the
+// parallel equivalent of nested Run loops.
+func (s *Suite) RunAll(policies ...hier.PolicyKind) map[string]map[hier.PolicyKind]*hier.System {
+	var specs []RunSpec
+	for _, wl := range s.opts.Benchmarks {
+		for _, p := range policies {
+			specs = append(specs, RunSpec{Workload: wl, Policy: p})
+		}
+	}
+	s.Prefetch(specs)
+	out := make(map[string]map[hier.PolicyKind]*hier.System, len(s.opts.Benchmarks))
+	for _, wl := range s.opts.Benchmarks {
+		row := make(map[hier.PolicyKind]*hier.System, len(policies))
+		for _, p := range policies {
+			row[p] = s.Run(wl, p)
+		}
+		out[wl] = row
+	}
+	return out
+}
+
+// SpecsFor returns the simulations an experiment will consume, in a
+// deterministic order, so a driver can Prefetch the union for several
+// experiments before printing any of them. Experiments that simulate
+// nothing (fig3, table2) return nil; unknown names panic with the valid
+// set.
+func (s *Suite) SpecsFor(exp string) []RunSpec {
+	matrix := func(pols ...hier.PolicyKind) []RunSpec {
+		var specs []RunSpec
+		for _, wl := range s.opts.Benchmarks {
+			for _, p := range pols {
+				specs = append(specs, RunSpec{Workload: wl, Policy: p})
+			}
+		}
+		return specs
+	}
+	withEval := append([]hier.PolicyKind{hier.Baseline}, evalPolicies...)
+	switch exp {
+	case "fig1":
+		var specs []RunSpec
+		for _, wl := range workloads.Fig1Set() {
+			specs = append(specs, RunSpec{Workload: wl, Policy: hier.Baseline})
+		}
+		return specs
+	case "fig3", "table2":
+		return nil
+	case "htree":
+		specs := matrix(hier.Baseline)
+		for _, wl := range s.opts.Benchmarks {
+			specs = append(specs, RunSpec{
+				Workload: wl, Policy: hier.Baseline, Variant: "htree", Mk: s.mkHTree(),
+			})
+		}
+		return specs
+	case "fig9", "fig11", "fig13", "fig15":
+		return matrix(withEval...)
+	case "fig10", "fig12":
+		return matrix(hier.Baseline, hier.SLIP, hier.SLIPABP)
+	case "fig14":
+		return matrix(hier.SLIPABP)
+	case "fig16":
+		var specs []RunSpec
+		for _, m := range workloads.Mixes() {
+			m := m
+			for _, p := range []hier.PolicyKind{hier.Baseline, hier.SLIPABP} {
+				specs = append(specs, RunSpec{Policy: p, Mix: &m})
+			}
+		}
+		return specs
+	case "tech22":
+		var specs []RunSpec
+		for _, wl := range s.opts.Benchmarks {
+			for _, p := range []hier.PolicyKind{hier.Baseline, hier.SLIPABP} {
+				specs = append(specs, RunSpec{
+					Workload: wl, Policy: p, Variant: "22nm", Mk: s.mkTech22(p),
+				})
+			}
+		}
+		return specs
+	case "binwidth":
+		specs := matrix(hier.Baseline)
+		for _, b := range binWidths {
+			b := b
+			for _, wl := range s.opts.Benchmarks {
+				specs = append(specs, RunSpec{
+					Workload: wl, Policy: hier.SLIPABP, Variant: bitsVariant(b), Mk: s.mkBits(b),
+				})
+			}
+		}
+		return specs
+	case "sampling":
+		specs := matrix(hier.SLIPABP)
+		for _, wl := range s.opts.Benchmarks {
+			specs = append(specs, RunSpec{
+				Workload: wl, Policy: hier.SLIPABP, Variant: "nosample", Mk: s.mkNoSample(),
+			})
+		}
+		return specs
+	default:
+		panic(fmt.Sprintf("experiments: unknown experiment %q (valid: %s)",
+			exp, "fig1, fig3, table2, htree, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, tech22, binwidth, sampling"))
+	}
+}
+
+// SpecsForAll unions SpecsFor over several experiments, dropping duplicate
+// memo keys while keeping first-seen order stable.
+func (s *Suite) SpecsForAll(exps []string) []RunSpec {
+	seen := make(map[string]bool)
+	var specs []RunSpec
+	for _, exp := range exps {
+		for _, sp := range s.SpecsFor(exp) {
+			if k := sp.key(); !seen[k] {
+				seen[k] = true
+				specs = append(specs, sp)
+			}
+		}
+	}
+	return specs
+}
+
+// Keys reports the memoized run keys, sorted — a test/debug aid.
+func (s *Suite) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.runs))
+	for k := range s.runs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

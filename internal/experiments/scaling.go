@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/energy"
 	"repro/internal/hier"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -63,23 +62,11 @@ type Tech22Result struct {
 // grows and SLIP+ABP saves slightly more than at 45nm (paper: 36% L2,
 // 25% L3).
 func (s *Suite) Tech22() Tech22Result {
-	mk := func(p hier.PolicyKind) func() hier.Config {
-		return func() hier.Config {
-			t := energy.Tech22()
-			return hier.Config{
-				Policy:   p,
-				Seed:     s.opts.Seed,
-				L2Params: energy.ParamsFromGrid(energy.L2Grid45().WithTech(t), []int{4, 4, 8}, []int{4, 6, 8}, 7, 0.6),
-				L3Params: energy.ParamsFromGrid(energy.L3Grid45().WithTech(t), []int{4, 4, 8}, []int{15, 19, 23}, 20, 1.5),
-				DRAM:     energy.DRAMParams{LatencyCycles: 100, PJPerBit: t.DRAMPJPerBit},
-			}
-		}
-	}
 	tb := stats.NewTable("Section 6: SLIP+ABP at 22nm", "bench", "L2 savings", "L3 savings")
 	var v2, v3 []float64
 	for _, name := range s.opts.Benchmarks {
-		base := s.RunWith(name, hier.Baseline, "22nm", mk(hier.Baseline))
-		abp := s.RunWith(name, hier.SLIPABP, "22nm", mk(hier.SLIPABP))
+		base := s.RunWith(name, hier.Baseline, "22nm", s.mkTech22(hier.Baseline))
+		abp := s.RunWith(name, hier.SLIPABP, "22nm", s.mkTech22(hier.SLIPABP))
 		sv2 := stats.Savings(base.L2TotalPJ(), abp.L2TotalPJ())
 		sv3 := stats.Savings(base.L3TotalPJ(), abp.L3TotalPJ())
 		v2 = append(v2, sv2)
@@ -102,18 +89,15 @@ type BinWidthResult struct {
 // study: 4-bit bins are within ~1% of wider counters, while 2-bit bins
 // round small hit counts to zero, over-bypass, and lose energy.
 func (s *Suite) BinWidth() BinWidthResult {
-	widths := []uint8{2, 3, 4, 6, 8}
 	res := BinWidthResult{SavingsByBits: map[uint8]float64{}}
 	tb := stats.NewTable("Section 6: distribution bin width sensitivity (SLIP+ABP, mean L2+L3 savings)",
 		"bits", "savings")
-	for _, bits := range widths {
+	for _, bits := range binWidths {
 		b := bits
 		var v []float64
 		for _, name := range s.opts.Benchmarks {
 			base := s.Run(name, hier.Baseline)
-			sys := s.RunWith(name, hier.SLIPABP, fmt.Sprintf("bits%d", b), func() hier.Config {
-				return hier.Config{Policy: hier.SLIPABP, Seed: s.opts.Seed, BinBits: b}
-			})
+			sys := s.RunWith(name, hier.SLIPABP, bitsVariant(b), s.mkBits(b))
 			v = append(v, stats.Savings(
 				base.L2TotalPJ()+base.L3TotalPJ(),
 				sys.L2TotalPJ()+sys.L3TotalPJ()))
@@ -143,9 +127,7 @@ func (s *Suite) Sampling() SamplingResult {
 		"bench", "meta share of L2 accesses (sampled)", "(always)", "meta share of DRAM (sampled)")
 	for _, name := range s.opts.Benchmarks {
 		sys := s.Run(name, hier.SLIPABP)
-		always := s.RunWith(name, hier.SLIPABP, "nosample", func() hier.Config {
-			return hier.Config{Policy: hier.SLIPABP, Seed: s.opts.Seed, DisableSampling: true}
-		})
+		always := s.RunWith(name, hier.SLIPABP, "nosample", s.mkNoSample())
 		l2acc := float64(sys.L2(0).Stats.Accesses.Value())
 		l2accA := float64(always.L2(0).Stats.Accesses.Value())
 		w := stats.Pct(float64(sys.L2MetaAccesses), l2acc)

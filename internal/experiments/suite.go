@@ -6,12 +6,20 @@
 //
 // The Suite memoizes simulated systems, so figures that share runs (9, 10,
 // 11, 12, 13, 14, 15 all read the same 14 benchmark x 5 policy matrix) pay
-// for each simulation once.
+// for each simulation once. The memo cache is goroutine-safe with
+// singleflight semantics: concurrent requests for the same run block on a
+// single simulation instead of duplicating it, and Prefetch/RunAll fan the
+// run matrix over a bounded worker pool. Each simulated system is built and
+// driven by exactly one goroutine, so parallel results are bit-identical to
+// sequential ones.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"strings"
+	"sync"
 
 	"repro/internal/hier"
 	"repro/internal/trace"
@@ -33,6 +41,10 @@ type Options struct {
 	Seed uint64
 	// Benchmarks restricts the workload set (default: all).
 	Benchmarks []string
+	// Parallelism bounds the worker pool used by Prefetch/RunAll
+	// (default: runtime.GOMAXPROCS(0)). It only affects how many distinct
+	// simulations run concurrently, never the result of any of them.
+	Parallelism int
 	// Out receives the printed tables (nil discards).
 	Out io.Writer
 }
@@ -51,21 +63,36 @@ func (o *Options) fill() {
 	if len(o.Benchmarks) == 0 {
 		o.Benchmarks = workloads.Names()
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if o.Out == nil {
 		o.Out = io.Discard
 	}
 }
 
-// Suite memoizes runs across experiments.
+// runEntry is one memo slot. The sync.Once gives singleflight semantics:
+// whichever goroutine arrives first simulates; any others requesting the
+// same key block inside once.Do until the system is ready.
+type runEntry struct {
+	once sync.Once
+	sys  *hier.System
+}
+
+// Suite memoizes runs across experiments. All methods are safe for
+// concurrent use; a completed *hier.System is immutable from the Suite's
+// point of view (callers must not drive it further).
 type Suite struct {
 	opts Options
-	runs map[string]*hier.System
+
+	mu   sync.Mutex
+	runs map[string]*runEntry
 }
 
 // NewSuite builds a suite with the given options.
 func NewSuite(opts Options) *Suite {
 	opts.fill()
-	return &Suite{opts: opts, runs: make(map[string]*hier.System)}
+	return &Suite{opts: opts, runs: make(map[string]*runEntry)}
 }
 
 // Options returns the filled options.
@@ -81,59 +108,75 @@ func runKey(wl string, p hier.PolicyKind, variant string) string {
 	return fmt.Sprintf("%s/%s/%s", wl, p, variant)
 }
 
+// entry returns the memo slot for key, creating it under the lock.
+func (s *Suite) entry(key string) *runEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.runs[key]
+	if !ok {
+		e = &runEntry{}
+		s.runs[key] = e
+	}
+	return e
+}
+
+// mustSpec resolves a workload name or panics with the valid set — the
+// misuse (a typo in a benchmark list) is a programming error, and listing
+// the alternatives makes it self-diagnosing.
+func mustSpec(wl string) workloads.Spec {
+	spec, ok := workloads.ByName(wl)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown workload %q (valid workloads: %s)",
+			wl, strings.Join(workloads.Names(), ", ")))
+	}
+	return spec
+}
+
 // Run returns the memoized single-core system for a workload and policy
 // under the default configuration.
 func (s *Suite) Run(wl string, p hier.PolicyKind) *hier.System {
-	return s.RunWith(wl, p, "", func() hier.Config {
-		return hier.Config{Policy: p, Seed: s.opts.Seed}
-	})
+	return s.RunWith(wl, p, "", s.mkDefault(p))
 }
 
 // RunWith memoizes a single-core run under a custom configuration; variant
-// distinguishes configurations of the same workload/policy pair.
+// distinguishes configurations of the same workload/policy pair. Unknown
+// workloads panic before the memo slot is claimed, so a bad request never
+// poisons the cache for a later correct one.
 func (s *Suite) RunWith(wl string, p hier.PolicyKind, variant string, mk func() hier.Config) *hier.System {
-	key := runKey(wl, p, variant)
-	if sys, ok := s.runs[key]; ok {
-		return sys
-	}
-	spec, ok := workloads.ByName(wl)
-	if !ok {
-		panic(fmt.Sprintf("experiments: unknown workload %q", wl))
-	}
-	sys := hier.New(mk())
-	src := spec.Build(s.opts.Seed)
-	if s.opts.Warmup > 0 {
-		sys.Run(trace.Limit(src, s.opts.Warmup))
-		sys.ResetStats()
-	}
-	sys.Run(trace.Limit(src, s.opts.Accesses))
-	s.runs[key] = sys
-	return sys
+	spec := mustSpec(wl)
+	e := s.entry(runKey(wl, p, variant))
+	e.once.Do(func() {
+		sys := hier.New(mk())
+		src := spec.Build(s.opts.Seed)
+		if s.opts.Warmup > 0 {
+			sys.Run(trace.Limit(src, s.opts.Warmup))
+			sys.ResetStats()
+		}
+		sys.Run(trace.Limit(src, s.opts.Accesses))
+		e.sys = sys
+	})
+	return e.sys
 }
 
-// RunMix returns the memoized two-core system for a Figure 16 mix.
+// RunMix returns the memoized two-core system for a Figure 16 mix. Mix runs
+// live in their own key namespace ("mix:...") so a mix label can never
+// collide with a single-core workload/variant key. Core B's trace is seeded
+// with Seed+1 so the two cores draw independent streams.
 func (s *Suite) RunMix(m workloads.Mix, p hier.PolicyKind) *hier.System {
-	key := runKey(m.Name(), p, "mix")
-	if sys, ok := s.runs[key]; ok {
-		return sys
-	}
-	a, ok := workloads.ByName(m.A)
-	if !ok {
-		panic(fmt.Sprintf("experiments: unknown workload %q", m.A))
-	}
-	b, ok := workloads.ByName(m.B)
-	if !ok {
-		panic(fmt.Sprintf("experiments: unknown workload %q", m.B))
-	}
-	sys := hier.New(hier.Config{Policy: p, NumCores: 2, Seed: s.opts.Seed})
-	sa, sb := a.Build(s.opts.Seed), b.Build(s.opts.Seed+1)
-	if s.opts.Warmup > 0 {
-		sys.Run(trace.Limit(sa, s.opts.Warmup), trace.Limit(sb, s.opts.Warmup))
-		sys.ResetStats()
-	}
-	// Statistics are collected only while both benchmarks execute, as in
-	// the paper's overlap-window methodology.
-	sys.Run(trace.Limit(sa, s.opts.Accesses), trace.Limit(sb, s.opts.Accesses))
-	s.runs[key] = sys
-	return sys
+	a := mustSpec(m.A)
+	b := mustSpec(m.B)
+	e := s.entry(runKey("mix:"+m.Name(), p, ""))
+	e.once.Do(func() {
+		sys := hier.New(hier.Config{Policy: p, NumCores: 2, Seed: s.opts.Seed})
+		sa, sb := a.Build(s.opts.Seed), b.Build(s.opts.Seed+1)
+		if s.opts.Warmup > 0 {
+			sys.Run(trace.Limit(sa, s.opts.Warmup), trace.Limit(sb, s.opts.Warmup))
+			sys.ResetStats()
+		}
+		// Statistics are collected only while both benchmarks execute, as in
+		// the paper's overlap-window methodology.
+		sys.Run(trace.Limit(sa, s.opts.Accesses), trace.Limit(sb, s.opts.Accesses))
+		e.sys = sys
+	})
+	return e.sys
 }

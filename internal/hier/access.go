@@ -116,14 +116,17 @@ func (s *System) metaFor(pte *mmu.PTE) cache.Meta {
 // defaultCode returns the Default SLIP code for a level.
 func (s *System) defaultCode(level int) uint8 {
 	if level == 3 {
-		return s.encL3.DefaultCode()
+		return s.defCodeL3
 	}
-	return s.encL2.DefaultCode()
+	return s.defCodeL2
 }
 
-// latencyOf returns the hit latency at a level for the configured policy.
-func latencyOf(l *cache.Level, d interface{ UniformLatency() bool }, way int) int {
-	if d.UniformLatency() {
+// latencyOf returns the hit latency at a level: the uniform baseline latency
+// when the policy pipelines all ways identically, per-way otherwise. The
+// uniform flag is the cached driver answer, keeping interface dispatch off
+// the per-hit path.
+func latencyOf(l *cache.Level, uniform bool, way int) int {
+	if uniform {
 		return l.Params().BaselineLatency
 	}
 	return l.Params().WayLatency[way]
@@ -145,7 +148,7 @@ func (s *System) accessL2(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
 			// — the stale-bypass pathology discussed in DESIGN.md.
 			pte.L3Dist.Add(slipcore.BinFor(r2.RDLines, s.cumL3))
 		}
-		lat := latencyOf(cn.l2, cn.d2, r2.Way)
+		lat := latencyOf(cn.l2, s.uniformLat2, r2.Way)
 		cn.d2.OnHit(cn.l2, r2.Set, r2.Way)
 		return lat
 	}
@@ -170,7 +173,7 @@ func (s *System) accessL3(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
 		if pte != nil && pte.Sampling {
 			pte.L3Dist.Add(slipcore.BinFor(r3.RDLines, s.cumL3))
 		}
-		lat := latencyOf(s.l3, s.d3, r3.Way)
+		lat := latencyOf(s.l3, s.uniformLat3, r3.Way)
 		s.d3.OnHit(s.l3, r3.Set, r3.Way)
 		return lat
 	}

@@ -83,11 +83,24 @@ type Stats struct {
 	PolicyRecomputs stats.Counter // EOU invocations
 }
 
-// MMU is the TLB + page table pair.
+// tlbEntry is one TLB slot. Entries carry the resolved PTE pointer so TLB
+// hits — the overwhelmingly common case — never touch the page-table map.
+type tlbEntry struct {
+	page  mem.PageID
+	pte   *PTE
+	stamp uint64 // LRU stamp (unique: one clock tick per translation)
+}
+
+// MMU is the TLB + page table pair. The TLB is a packed slice rather than a
+// map: with at most DefaultTLBEntries slots, a linear scan over contiguous
+// entries beats hashed lookup on both hits (no hash, no stamp re-insert) and
+// misses (the LRU victim scan walks a few cache lines instead of iterating a
+// map). Stamps are unique, so the minimum-stamp victim is the same entry the
+// map-based implementation chose — replacement behaviour is bit-identical.
 type MMU struct {
 	cfg   Config
 	pages map[mem.PageID]*PTE
-	tlb   map[mem.PageID]uint64 // page -> LRU stamp
+	tlb   []tlbEntry
 	clock uint64
 	rng   *trace.RNG
 
@@ -111,7 +124,7 @@ func New(cfg Config) *MMU {
 	return &MMU{
 		cfg:   cfg,
 		pages: make(map[mem.PageID]*PTE),
-		tlb:   make(map[mem.PageID]uint64),
+		tlb:   make([]tlbEntry, 0, cfg.TLBEntries),
 		rng:   trace.NewRNG(cfg.Seed ^ 0x51e9),
 	}
 }
@@ -155,32 +168,35 @@ type TranslateResult struct {
 // machine on misses.
 func (m *MMU) Translate(p mem.PageID) TranslateResult {
 	m.clock++
-	pte := m.PTEOf(p)
-	if _, ok := m.tlb[p]; ok {
-		m.tlb[p] = m.clock
-		m.Stats.TLBHits.Inc()
-		return TranslateResult{PTE: pte}
+	for i := range m.tlb {
+		if m.tlb[i].page == p {
+			m.tlb[i].stamp = m.clock
+			m.Stats.TLBHits.Inc()
+			return TranslateResult{PTE: m.tlb[i].pte}
+		}
 	}
+	pte := m.PTEOf(p)
 	m.Stats.TLBMisses.Inc()
 	res := TranslateResult{PTE: pte, TLBMiss: true}
 	// Evict the LRU TLB entry when full; a displaced sampling page's
 	// distribution counters are written back to DRAM.
 	if len(m.tlb) >= m.cfg.TLBEntries {
-		var victim mem.PageID
-		oldest := ^uint64(0)
-		for page, stamp := range m.tlb {
-			if stamp < oldest {
-				victim, oldest = page, stamp
+		victim := 0
+		for i := 1; i < len(m.tlb); i++ {
+			if m.tlb[i].stamp < m.tlb[victim].stamp {
+				victim = i
 			}
 		}
-		delete(m.tlb, victim)
-		if m.pages[victim].Sampling {
+		ve := m.tlb[victim]
+		if ve.pte.Sampling {
 			m.Stats.ProfileWrites.Inc()
-			res.WritebackProfile = victim
+			res.WritebackProfile = ve.page
 			res.WritebackValid = true
 		}
+		m.tlb[victim] = tlbEntry{page: p, pte: pte, stamp: m.clock}
+	} else {
+		m.tlb = append(m.tlb, tlbEntry{page: p, pte: pte, stamp: m.clock})
 	}
-	m.tlb[p] = m.clock
 	if pte.Sampling {
 		// Distribution metadata is only fetched for sampling pages.
 		m.Stats.ProfileFetches.Inc()
@@ -210,8 +226,12 @@ func (m *MMU) NotePolicyUpdate() { m.Stats.PolicyRecomputs.Inc() }
 
 // InTLB reports whether p currently hits in the TLB.
 func (m *MMU) InTLB(p mem.PageID) bool {
-	_, ok := m.tlb[p]
-	return ok
+	for i := range m.tlb {
+		if m.tlb[i].page == p {
+			return true
+		}
+	}
+	return false
 }
 
 // ProfileAddr maps a page's 32-bit distribution record to the reserved

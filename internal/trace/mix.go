@@ -22,6 +22,9 @@ type Mix struct {
 	cur  int // index of region currently bursting
 	left int // accesses left in current burst
 	cum  []float64
+	// gapP is the per-trial success probability of the geometric gap draw,
+	// precomputed so the hot path avoids a division per access.
+	gapP float64
 }
 
 // NewMix builds a mixture source. meanGap sets the average instruction gap
@@ -36,6 +39,9 @@ func NewMix(seed uint64, meanGap float64, items ...MixItem) *Mix {
 		}
 	}
 	m := &Mix{items: items, meanGap: meanGap, rng: NewRNG(seed)}
+	if meanGap > 0 {
+		m.gapP = 1.0 / (meanGap + 1)
+	}
 	// Weight is each region's share of the *access stream*. One selection
 	// emits Burst accesses, so selection probability must be proportional
 	// to Weight/Burst, not Weight.
@@ -77,8 +83,7 @@ func (m *Mix) gap() uint32 {
 	}
 	// A geometric draw with mean g: floor(ln(u)/ln(1-1/(g+1))) clamped.
 	g := 0
-	p := 1.0 / (m.meanGap + 1)
-	for !m.rng.Bool(p) && g < 1000 {
+	for !m.rng.Bool(m.gapP) && g < 1000 {
 		g++
 	}
 	return uint32(g)

@@ -118,12 +118,15 @@ type Random struct {
 	Base      mem.Addr
 	Bytes     uint64
 	StoreFrac float64
+
+	lines int // footprint in lines, precomputed off the per-access path
 }
 
 // NewRandom builds a uniform random region.
 func NewRandom(base mem.Addr, bytes uint64, storeFrac float64) *Random {
 	checkRegion("random", base, bytes)
-	return &Random{Base: base, Bytes: bytes, StoreFrac: storeFrac}
+	return &Random{Base: base, Bytes: bytes, StoreFrac: storeFrac,
+		lines: int(bytes / mem.LineBytes)}
 }
 
 // Name implements Region.
@@ -134,8 +137,7 @@ func (x *Random) Footprint() (mem.Addr, uint64) { return x.Base, x.Bytes }
 
 // Next implements Region.
 func (x *Random) Next(r *RNG) (mem.Addr, bool) {
-	lines := x.Bytes / mem.LineBytes
-	line := uint64(r.Intn(int(lines)))
+	line := uint64(r.Intn(x.lines))
 	return x.Base + mem.Addr(line*mem.LineBytes), r.Bool(x.StoreFrac)
 }
 
@@ -188,8 +190,10 @@ type Stencil struct {
 	PlaneBytes uint64
 	StoreFrac  float64
 
-	pos   uint64
-	phase int
+	pos        uint64
+	phase      int
+	planeLines uint64
+	lines      uint64
 }
 
 // NewStencil builds a plane-sweep region.
@@ -198,7 +202,8 @@ func NewStencil(base mem.Addr, bytes, planeBytes uint64, storeFrac float64) *Ste
 	if planeBytes < mem.LineBytes || planeBytes*2 > bytes {
 		panic("trace: stencil plane must be at least a line and at most half the footprint")
 	}
-	return &Stencil{Base: base, Bytes: bytes, PlaneBytes: planeBytes, StoreFrac: storeFrac}
+	return &Stencil{Base: base, Bytes: bytes, PlaneBytes: planeBytes, StoreFrac: storeFrac,
+		planeLines: planeBytes / mem.LineBytes, lines: bytes / mem.LineBytes}
 }
 
 // Name implements Region.
@@ -209,8 +214,7 @@ func (s *Stencil) Footprint() (mem.Addr, uint64) { return s.Base, s.Bytes }
 
 // Next implements Region.
 func (s *Stencil) Next(r *RNG) (mem.Addr, bool) {
-	planeLines := s.PlaneBytes / mem.LineBytes
-	lines := s.Bytes / mem.LineBytes
+	planeLines, lines := s.planeLines, s.lines
 	var line uint64
 	switch s.phase {
 	case 0: // previous plane (reuse of a line first touched one plane ago)
@@ -239,6 +243,9 @@ type Hotspot struct {
 	HotBytes  uint64
 	HotFrac   float64
 	StoreFrac float64
+
+	lines    int // footprint in lines
+	hotLines int // hot subset in lines
 }
 
 // NewHotspot builds a skewed-popularity region.
@@ -247,7 +254,8 @@ func NewHotspot(base mem.Addr, bytes, hotBytes uint64, hotFrac, storeFrac float6
 	if hotBytes < mem.LineBytes || hotBytes >= bytes {
 		panic("trace: hotspot hot subset must fit inside the footprint")
 	}
-	return &Hotspot{Base: base, Bytes: bytes, HotBytes: hotBytes, HotFrac: hotFrac, StoreFrac: storeFrac}
+	return &Hotspot{Base: base, Bytes: bytes, HotBytes: hotBytes, HotFrac: hotFrac, StoreFrac: storeFrac,
+		lines: int(bytes / mem.LineBytes), hotLines: int(hotBytes / mem.LineBytes)}
 }
 
 // Name implements Region.
@@ -258,11 +266,11 @@ func (h *Hotspot) Footprint() (mem.Addr, uint64) { return h.Base, h.Bytes }
 
 // Next implements Region.
 func (h *Hotspot) Next(r *RNG) (mem.Addr, bool) {
-	span := h.Bytes
+	span := h.lines
 	if r.Bool(h.HotFrac) {
-		span = h.HotBytes
+		span = h.hotLines
 	}
-	line := uint64(r.Intn(int(span / mem.LineBytes)))
+	line := uint64(r.Intn(span))
 	return h.Base + mem.Addr(line*mem.LineBytes), r.Bool(h.StoreFrac)
 }
 
@@ -282,6 +290,8 @@ type ScanReuse struct {
 	segLen  uint64 // lines in segment
 	pos     uint64 // position within the current walk
 	walk    int    // 0 = first walk, 1 = second walk
+	lines   uint64 // footprint in lines
+	shortLn uint64 // short segment in lines
 }
 
 // NewScanReuse builds the segment-rewalk region.
@@ -290,7 +300,8 @@ func NewScanReuse(base mem.Addr, bytes, shortBytes uint64, shortFrac, storeFrac 
 	if shortBytes < mem.LineBytes || shortBytes >= bytes {
 		panic("trace: scan-reuse short segment must fit inside the footprint")
 	}
-	return &ScanReuse{Base: base, Bytes: bytes, ShortBytes: shortBytes, ShortFrac: shortFrac, StoreFrac: storeFrac}
+	return &ScanReuse{Base: base, Bytes: bytes, ShortBytes: shortBytes, ShortFrac: shortFrac, StoreFrac: storeFrac,
+		lines: bytes / mem.LineBytes, shortLn: shortBytes / mem.LineBytes}
 }
 
 // Name implements Region.
@@ -304,7 +315,7 @@ func (s *ScanReuse) Next(r *RNG) (mem.Addr, bool) {
 	if s.segLen == 0 {
 		s.pickSegment(r)
 	}
-	line := (s.segBase + s.pos) % (s.Bytes / mem.LineBytes)
+	line := (s.segBase + s.pos) % s.lines
 	addr := s.Base + mem.Addr(line*mem.LineBytes)
 	s.pos++
 	if s.pos >= s.segLen {
@@ -319,8 +330,7 @@ func (s *ScanReuse) Next(r *RNG) (mem.Addr, bool) {
 }
 
 func (s *ScanReuse) pickSegment(r *RNG) {
-	lines := s.Bytes / mem.LineBytes
-	shortLines := s.ShortBytes / mem.LineBytes
+	lines, shortLines := s.lines, s.shortLn
 	if r.Bool(s.ShortFrac) {
 		// Short segment: between half and the full short size.
 		s.segLen = shortLines/2 + uint64(r.Intn(int(shortLines/2)))
