@@ -37,6 +37,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *parallel <= 0 {
+		fmt.Fprintf(os.Stderr, "slipbench: -parallel must be >= 1 (got %d)\n", *parallel)
+		os.Exit(2)
+	}
+	if *acc == 0 {
+		fmt.Fprintln(os.Stderr, "slipbench: -accesses must be > 0")
+		os.Exit(2)
+	}
 	if err := workloads.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -64,35 +72,15 @@ func main() {
 	}
 	suite := experiments.NewSuite(opts)
 
-	runners := map[string]func(){
-		"fig1":     func() { suite.Fig1() },
-		"fig3":     func() { suite.Fig3() },
-		"table2":   func() { suite.Table2() },
-		"htree":    func() { suite.HTree() },
-		"fig9":     func() { suite.Fig9() },
-		"fig10":    func() { suite.Fig10() },
-		"fig11":    func() { suite.Fig11() },
-		"fig12":    func() { suite.Fig12() },
-		"fig13":    func() { suite.Fig13() },
-		"fig14":    func() { suite.Fig14() },
-		"fig15":    func() { suite.Fig15() },
-		"fig16":    func() { suite.Fig16() },
-		"tech22":   func() { suite.Tech22() },
-		"binwidth": func() { suite.BinWidth() },
-		"sampling": func() { suite.Sampling() },
-	}
-	order := []string{"fig1", "fig3", "table2", "htree", "fig9", "fig10", "fig11",
-		"fig12", "fig13", "fig14", "fig15", "fig16", "tech22", "binwidth", "sampling"}
-
 	var names []string
 	if *exp == "all" {
-		names = order
+		names = experiments.ExperimentNames()
 	} else {
 		names = strings.Split(*exp, ",")
 	}
 	for i, n := range names {
 		names[i] = strings.TrimSpace(n)
-		if _, ok := runners[names[i]]; !ok {
+		if !experiments.ValidExperiment(names[i]) {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", n)
 			os.Exit(1)
 		}
@@ -112,7 +100,10 @@ func main() {
 
 	for _, n := range names {
 		start := time.Now()
-		runners[n]()
+		if err := suite.RunNamed(n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("[%s done in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
 }

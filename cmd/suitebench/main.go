@@ -64,6 +64,29 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "suitebench: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *parallel <= 0 {
+		fail("-parallel must be >= 1 (got %d)", *parallel)
+	}
+	if *acc == 0 {
+		fail("-accesses must be > 0")
+	}
+	if *single == 0 {
+		fail("-single must be > 0")
+	}
+	benchSet := strings.Split(*benches, ",")
+	if *benches == "" || len(benchSet) == 0 {
+		fail("-benchmarks must name at least one benchmark")
+	}
+	for _, b := range benchSet {
+		if _, ok := workloads.ByName(b); !ok {
+			fail("unknown benchmark %q (see slipbench -list)", b)
+		}
+	}
+
 	// Single-thread hot-path throughput (the BenchmarkSimulatorThroughput
 	// configuration: soplex under SLIP+ABP).
 	spec, ok := workloads.ByName("soplex")
@@ -93,7 +116,7 @@ func main() {
 		Warmup:     *warm,
 		WarmupSet:  true,
 		Seed:       7,
-		Benchmarks: strings.Split(*benches, ","),
+		Benchmarks: benchSet,
 	}
 	pols := []hier.PolicyKind{hier.Baseline, hier.SLIPABP}
 	res.MatrixRuns = len(opts.Benchmarks) * len(pols)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,8 +21,10 @@ type RunSpec struct {
 	Mix      *workloads.Mix
 }
 
-// key is the memo key the spec will occupy, matching Run/RunWith/RunMix.
-func (sp RunSpec) key() string {
+// Key is the memo key the spec will occupy, matching Run/RunWith/RunMix.
+// External result caches (the slipd LRU store) key on it too, so its format
+// is part of the package's contract.
+func (sp RunSpec) Key() string {
 	if sp.Mix != nil {
 		return runKey("mix:"+sp.Mix.Name(), sp.Policy, "")
 	}
@@ -40,15 +43,17 @@ func (sp RunSpec) validate() {
 	mustSpec(sp.Workload)
 }
 
-// run executes the spec through the memoizing entry points.
-func (s *Suite) run(sp RunSpec) *hier.System {
+// RunSpecContext executes one spec through the memoizing entry points
+// under ctx; the only error is ctx.Err() from a cancelled run. It is the
+// unit of work of Prefetch workers and of the slipd job workers.
+func (s *Suite) RunSpecContext(ctx context.Context, sp RunSpec) (*hier.System, error) {
 	switch {
 	case sp.Mix != nil:
-		return s.RunMix(*sp.Mix, sp.Policy)
+		return s.RunMixContext(ctx, *sp.Mix, sp.Policy)
 	case sp.Mk != nil:
-		return s.RunWith(sp.Workload, sp.Policy, sp.Variant, sp.Mk)
+		return s.RunWithContext(ctx, sp.Workload, sp.Policy, sp.Variant, sp.Mk)
 	default:
-		return s.Run(sp.Workload, sp.Policy)
+		return s.RunWithContext(ctx, sp.Workload, sp.Policy, "", s.mkDefault(sp.Policy))
 	}
 }
 
@@ -59,6 +64,15 @@ func (s *Suite) run(sp RunSpec) *hier.System {
 // entirely on one worker goroutine, so results are bit-identical to a
 // sequential execution of the same specs.
 func (s *Suite) Prefetch(specs []RunSpec) {
+	// A background context never cancels, so the error is impossible.
+	_ = s.PrefetchContext(context.Background(), specs)
+}
+
+// PrefetchContext is Prefetch under a context: when ctx is cancelled,
+// undispatched specs are abandoned, in-flight simulations stop within a
+// few thousand accesses, and ctx.Err() is returned. Completed specs stay
+// memoized; abandoned ones leave no trace, so a later retry starts clean.
+func (s *Suite) PrefetchContext(ctx context.Context, specs []RunSpec) error {
 	for _, sp := range specs {
 		sp.validate()
 	}
@@ -76,15 +90,24 @@ func (s *Suite) Prefetch(specs []RunSpec) {
 		go func() {
 			defer wg.Done()
 			for sp := range ch {
-				s.run(sp)
+				if ctx.Err() != nil {
+					continue // drain the channel without simulating
+				}
+				_, _ = s.RunSpecContext(ctx, sp)
 			}
 		}()
 	}
+dispatch:
 	for _, sp := range specs {
-		ch <- sp
+		select {
+		case ch <- sp:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // RunAll fans the full benchmark x policy matrix (the suite's configured
@@ -92,13 +115,22 @@ func (s *Suite) Prefetch(specs []RunSpec) {
 // returns the simulated systems keyed by workload then policy. It is the
 // parallel equivalent of nested Run loops.
 func (s *Suite) RunAll(policies ...hier.PolicyKind) map[string]map[hier.PolicyKind]*hier.System {
+	out, _ := s.RunAllContext(context.Background(), policies...)
+	return out
+}
+
+// RunAllContext is RunAll under a context; on cancellation it returns
+// (nil, ctx.Err()) and stops queued work promptly.
+func (s *Suite) RunAllContext(ctx context.Context, policies ...hier.PolicyKind) (map[string]map[hier.PolicyKind]*hier.System, error) {
 	var specs []RunSpec
 	for _, wl := range s.opts.Benchmarks {
 		for _, p := range policies {
 			specs = append(specs, RunSpec{Workload: wl, Policy: p})
 		}
 	}
-	s.Prefetch(specs)
+	if err := s.PrefetchContext(ctx, specs); err != nil {
+		return nil, err
+	}
 	out := make(map[string]map[hier.PolicyKind]*hier.System, len(s.opts.Benchmarks))
 	for _, wl := range s.opts.Benchmarks {
 		row := make(map[hier.PolicyKind]*hier.System, len(policies))
@@ -107,7 +139,7 @@ func (s *Suite) RunAll(policies ...hier.PolicyKind) map[string]map[hier.PolicyKi
 		}
 		out[wl] = row
 	}
-	return out
+	return out, nil
 }
 
 // SpecsFor returns the simulations an experiment will consume, in a
@@ -200,7 +232,7 @@ func (s *Suite) SpecsForAll(exps []string) []RunSpec {
 	var specs []RunSpec
 	for _, exp := range exps {
 		for _, sp := range s.SpecsFor(exp) {
-			if k := sp.key(); !seen[k] {
+			if k := sp.Key(); !seen[k] {
 				seen[k] = true
 				specs = append(specs, sp)
 			}
@@ -209,13 +241,19 @@ func (s *Suite) SpecsForAll(exps []string) []RunSpec {
 	return specs
 }
 
-// Keys reports the memoized run keys, sorted — a test/debug aid.
+// Keys reports the memoized run keys, sorted — a test/debug aid. Slots
+// whose only flight was cancelled hold no system and are not reported.
 func (s *Suite) Keys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keys := make([]string, 0, len(s.runs))
-	for k := range s.runs {
-		keys = append(keys, k)
+	for k, e := range s.runs {
+		e.mu.Lock()
+		done := e.sys != nil
+		e.mu.Unlock()
+		if done {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	return keys

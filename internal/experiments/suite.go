@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -47,6 +48,12 @@ type Options struct {
 	Parallelism int
 	// Out receives the printed tables (nil discards).
 	Out io.Writer
+	// Progress, when set, receives simulation progress: the memo key of
+	// the run and the cumulative accesses driven so far (warmup plus
+	// measured; both traces for a mix). It is called from the simulating
+	// goroutine every few thousand accesses, must be cheap and safe for
+	// concurrent use, and never affects results.
+	Progress func(key string, done uint64)
 }
 
 // fill applies defaults.
@@ -71,12 +78,16 @@ func (o *Options) fill() {
 	}
 }
 
-// runEntry is one memo slot. The sync.Once gives singleflight semantics:
-// whichever goroutine arrives first simulates; any others requesting the
-// same key block inside once.Do until the system is ready.
+// runEntry is one memo slot with singleflight semantics: whichever
+// goroutine arrives first simulates (claiming flight); any others
+// requesting the same key block on the flight channel until the system is
+// ready. Unlike a sync.Once, a flight that is cancelled mid-simulation
+// leaves the slot empty, so a waiter with a live context simply claims a
+// fresh flight — one caller's cancellation never poisons the cache.
 type runEntry struct {
-	once sync.Once
-	sys  *hier.System
+	mu     sync.Mutex
+	sys    *hier.System  // non-nil once a flight completed
+	flight chan struct{} // non-nil while a simulation is in progress
 }
 
 // Suite memoizes runs across experiments. All methods are safe for
@@ -132,6 +143,59 @@ func mustSpec(wl string) workloads.Spec {
 	return spec
 }
 
+// getOrRun returns the memoized system for key, simulating via sim when
+// the slot is empty. Concurrent callers for one key collapse onto a single
+// flight; a cancelled flight leaves the slot empty for the next live
+// caller to retry. The only error is ctx.Err().
+func (s *Suite) getOrRun(ctx context.Context, key string, sim func(context.Context) (*hier.System, error)) (*hier.System, error) {
+	e := s.entry(key)
+	for {
+		e.mu.Lock()
+		if e.sys != nil {
+			e.mu.Unlock()
+			return e.sys, nil
+		}
+		if err := ctx.Err(); err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		if e.flight == nil {
+			fl := make(chan struct{})
+			e.flight = fl
+			e.mu.Unlock()
+			sys, err := sim(ctx)
+			e.mu.Lock()
+			if err == nil {
+				e.sys = sys
+			}
+			e.flight = nil
+			e.mu.Unlock()
+			close(fl)
+			return sys, err
+		}
+		fl := e.flight
+		e.mu.Unlock()
+		select {
+		case <-fl:
+			// Flight finished: either sys is set, or it was cancelled and
+			// the loop claims a fresh one.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// progressFor adapts the Options.Progress hook to one keyed run; base
+// offsets the measured phase past the warmup so the reported count is
+// cumulative and monotonic across phases. Nil when no hook is set, which
+// keeps the hook check off the hier hot path entirely.
+func (s *Suite) progressFor(key string, base uint64) func(uint64) {
+	if s.opts.Progress == nil {
+		return nil
+	}
+	return func(n uint64) { s.opts.Progress(key, base+n) }
+}
+
 // Run returns the memoized single-core system for a workload and policy
 // under the default configuration.
 func (s *Suite) Run(wl string, p hier.PolicyKind) *hier.System {
@@ -143,19 +207,30 @@ func (s *Suite) Run(wl string, p hier.PolicyKind) *hier.System {
 // workloads panic before the memo slot is claimed, so a bad request never
 // poisons the cache for a later correct one.
 func (s *Suite) RunWith(wl string, p hier.PolicyKind, variant string, mk func() hier.Config) *hier.System {
+	sys, _ := s.RunWithContext(context.Background(), wl, p, variant, mk)
+	return sys
+}
+
+// RunWithContext is RunWith under a context: a cancelled ctx stops the
+// simulation within a few thousand accesses and returns ctx.Err(), leaving
+// the memo slot untouched. An uncancelled run is bit-identical to RunWith.
+func (s *Suite) RunWithContext(ctx context.Context, wl string, p hier.PolicyKind, variant string, mk func() hier.Config) (*hier.System, error) {
 	spec := mustSpec(wl)
-	e := s.entry(runKey(wl, p, variant))
-	e.once.Do(func() {
+	key := runKey(wl, p, variant)
+	return s.getOrRun(ctx, key, func(ctx context.Context) (*hier.System, error) {
 		sys := hier.New(mk())
 		src := spec.Build(s.opts.Seed)
 		if s.opts.Warmup > 0 {
-			sys.Run(trace.Limit(src, s.opts.Warmup))
+			if err := sys.RunContext(ctx, s.progressFor(key, 0), trace.Limit(src, s.opts.Warmup)); err != nil {
+				return nil, err
+			}
 			sys.ResetStats()
 		}
-		sys.Run(trace.Limit(src, s.opts.Accesses))
-		e.sys = sys
+		if err := sys.RunContext(ctx, s.progressFor(key, s.opts.Warmup), trace.Limit(src, s.opts.Accesses)); err != nil {
+			return nil, err
+		}
+		return sys, nil
 	})
-	return e.sys
 }
 
 // RunMix returns the memoized two-core system for a Figure 16 mix. Mix runs
@@ -163,20 +238,30 @@ func (s *Suite) RunWith(wl string, p hier.PolicyKind, variant string, mk func() 
 // collide with a single-core workload/variant key. Core B's trace is seeded
 // with Seed+1 so the two cores draw independent streams.
 func (s *Suite) RunMix(m workloads.Mix, p hier.PolicyKind) *hier.System {
+	sys, _ := s.RunMixContext(context.Background(), m, p)
+	return sys
+}
+
+// RunMixContext is RunMix under a context, with the same cancellation
+// contract as RunWithContext.
+func (s *Suite) RunMixContext(ctx context.Context, m workloads.Mix, p hier.PolicyKind) (*hier.System, error) {
 	a := mustSpec(m.A)
 	b := mustSpec(m.B)
-	e := s.entry(runKey("mix:"+m.Name(), p, ""))
-	e.once.Do(func() {
+	key := runKey("mix:"+m.Name(), p, "")
+	return s.getOrRun(ctx, key, func(ctx context.Context) (*hier.System, error) {
 		sys := hier.New(hier.Config{Policy: p, NumCores: 2, Seed: s.opts.Seed})
 		sa, sb := a.Build(s.opts.Seed), b.Build(s.opts.Seed+1)
 		if s.opts.Warmup > 0 {
-			sys.Run(trace.Limit(sa, s.opts.Warmup), trace.Limit(sb, s.opts.Warmup))
+			if err := sys.RunContext(ctx, s.progressFor(key, 0), trace.Limit(sa, s.opts.Warmup), trace.Limit(sb, s.opts.Warmup)); err != nil {
+				return nil, err
+			}
 			sys.ResetStats()
 		}
 		// Statistics are collected only while both benchmarks execute, as in
 		// the paper's overlap-window methodology.
-		sys.Run(trace.Limit(sa, s.opts.Accesses), trace.Limit(sb, s.opts.Accesses))
-		e.sys = sys
+		if err := sys.RunContext(ctx, s.progressFor(key, 2*s.opts.Warmup), trace.Limit(sa, s.opts.Accesses), trace.Limit(sb, s.opts.Accesses)); err != nil {
+			return nil, err
+		}
+		return sys, nil
 	})
-	return e.sys
 }

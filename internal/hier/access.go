@@ -1,6 +1,8 @@
 package hier
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	slipcore "repro/internal/core"
 	"repro/internal/energy"
@@ -24,19 +26,54 @@ func shiftAddr(coreID int, a mem.Addr) mem.Addr {
 // each core's addresses into a private region (the multiprogrammed, no
 // -sharing setup of Section 6).
 func (s *System) Run(srcs ...trace.Source) {
+	// A background context never cancels, so the error is impossible.
+	_ = s.RunContext(context.Background(), nil, srcs...)
+}
+
+// cancelCheckEvery is the access stride between context polls and progress
+// reports in RunContext. A power of two keeps the check a single mask on
+// the hot path; at ~300 ns/access one stride is ~1 ms of simulation, so
+// cancellation latency stays well under any service deadline.
+const cancelCheckEvery = 4096
+
+// RunContext is Run with a cancellation hook: every cancelCheckEvery
+// accesses it polls ctx (returning ctx.Err() mid-trace when cancelled) and
+// invokes progress, if non-nil, with the cumulative number of accesses
+// driven across all sources. progress also fires once at exhaustion. An
+// uncancelled RunContext performs exactly the access sequence Run does, so
+// results are bit-identical.
+func (s *System) RunContext(ctx context.Context, progress func(done uint64), srcs ...trace.Source) error {
 	if len(srcs) != len(s.cores) {
 		panic("hier: Run needs exactly one source per core")
 	}
 	iv := trace.NewInterleave(srcs...)
+	done := ctx.Done()
+	var n uint64
 	for {
 		a, coreID, ok := iv.NextWithCore()
 		if !ok {
-			return
+			if progress != nil {
+				progress(n)
+			}
+			return nil
 		}
 		if len(s.cores) > 1 {
 			a.Addr = shiftAddr(coreID, a.Addr)
 		}
 		s.Access(coreID, a)
+		n++
+		if n&(cancelCheckEvery-1) == 0 {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			if progress != nil {
+				progress(n)
+			}
+		}
 	}
 }
 

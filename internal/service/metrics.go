@@ -1,0 +1,172 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// runLatencyBuckets are the per-run latency histogram bounds in seconds,
+// spanning cache-warm sub-millisecond replies to multi-minute sweeps.
+var runLatencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 30, 120}
+
+// Metrics is a minimal Prometheus-text-format registry — counters, a
+// latency histogram and derived gauges — kept dependency-free on purpose
+// (the container bakes in only the Go toolchain). All methods are safe for
+// concurrent use; none sit on the simulation hot path (progress updates
+// arrive every few thousand simulated accesses).
+type Metrics struct {
+	mu sync.Mutex
+
+	jobsSubmitted uint64
+	jobsByState   map[JobState]uint64 // terminal states only
+
+	cacheHits   uint64
+	cacheMisses uint64
+
+	accessesTotal uint64
+	busySeconds   float64
+
+	latCounts []uint64 // cumulative per bucket, +Inf implicit
+	latInf    uint64
+	latSum    float64
+	latCount  uint64
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		jobsByState: make(map[JobState]uint64),
+		latCounts:   make([]uint64, len(runLatencyBuckets)),
+	}
+}
+
+// JobSubmitted counts an admitted job.
+func (m *Metrics) JobSubmitted() {
+	m.mu.Lock()
+	m.jobsSubmitted++
+	m.mu.Unlock()
+}
+
+// JobFinished counts a job reaching a terminal state and, for completed
+// jobs, feeds the latency histogram and throughput accounting.
+func (m *Metrics) JobFinished(state JobState, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsByState[state]++
+	m.busySeconds += seconds
+	if state != StateCompleted {
+		return
+	}
+	m.latSum += seconds
+	m.latCount++
+	placed := false
+	for i, b := range runLatencyBuckets {
+		if seconds <= b {
+			m.latCounts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		m.latInf++
+	}
+}
+
+// CacheHit / CacheMiss count result-store lookups on the POST path.
+func (m *Metrics) CacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+// CacheMiss counts a POST that had to enqueue (or join) a simulation.
+func (m *Metrics) CacheMiss() {
+	m.mu.Lock()
+	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+// AddAccesses accumulates simulated accesses (from progress callbacks).
+func (m *Metrics) AddAccesses(n uint64) {
+	m.mu.Lock()
+	m.accessesTotal += n
+	m.mu.Unlock()
+}
+
+// CacheHits returns the hit counter (used by tests and the smoke script).
+func (m *Metrics) CacheHits() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits
+}
+
+// Gauges are point-in-time values owned elsewhere (queue depth, running
+// jobs, store size); the server wires them in before serving /metrics.
+type Gauges struct {
+	QueueDepth    func() int
+	QueueCap      func() int
+	JobsQueued    func() int
+	JobsRunning   func() int
+	StoreLen      func() int
+	StoreEvicted  func() uint64
+	StoreCapacity func() int
+}
+
+// WriteTo renders the registry in Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+
+	gauge("slipd_queue_depth", "Jobs waiting in the admission queue.", float64(g.QueueDepth()))
+	gauge("slipd_queue_capacity", "Admission queue capacity.", float64(g.QueueCap()))
+	gauge("slipd_jobs_queued", "Jobs in state queued.", float64(g.JobsQueued()))
+	gauge("slipd_jobs_running", "Jobs in state running.", float64(g.JobsRunning()))
+
+	counter("slipd_jobs_submitted_total", "Jobs admitted to the queue.", float64(m.jobsSubmitted))
+	fmt.Fprintf(w, "# HELP slipd_jobs_total Jobs finished, by terminal state.\n# TYPE slipd_jobs_total counter\n")
+	states := make([]string, 0, len(m.jobsByState))
+	for s := range m.jobsByState {
+		states = append(states, string(s))
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "slipd_jobs_total{state=%q} %d\n", s, m.jobsByState[JobState(s)])
+	}
+
+	counter("slipd_result_cache_hits_total", "POSTs answered from the result store.", float64(m.cacheHits))
+	counter("slipd_result_cache_misses_total", "POSTs that required simulation.", float64(m.cacheMisses))
+	ratio := 0.0
+	if t := m.cacheHits + m.cacheMisses; t > 0 {
+		ratio = float64(m.cacheHits) / float64(t)
+	}
+	gauge("slipd_result_cache_hit_ratio", "Result-store hit fraction over all POSTs.", ratio)
+	gauge("slipd_result_cache_size", "Results currently cached.", float64(g.StoreLen()))
+	gauge("slipd_result_cache_capacity", "Result store capacity.", float64(g.StoreCapacity()))
+	counter("slipd_result_cache_evictions_total", "Results evicted by the LRU.", float64(g.StoreEvicted()))
+
+	counter("slipd_sim_accesses_total", "Memory accesses simulated across all jobs.", float64(m.accessesTotal))
+	perSec := 0.0
+	if m.busySeconds > 0 {
+		perSec = float64(m.accessesTotal) / m.busySeconds
+	}
+	gauge("slipd_sim_accesses_per_sec", "Mean simulated accesses per busy worker second.", perSec)
+
+	fmt.Fprintf(w, "# HELP slipd_run_seconds Per-run wall-clock latency of completed jobs.\n# TYPE slipd_run_seconds histogram\n")
+	var cum uint64
+	for i, b := range runLatencyBuckets {
+		cum += m.latCounts[i]
+		fmt.Fprintf(w, "slipd_run_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", b), cum)
+	}
+	fmt.Fprintf(w, "slipd_run_seconds_bucket{le=\"+Inf\"} %d\n", cum+m.latInf)
+	fmt.Fprintf(w, "slipd_run_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "slipd_run_seconds_count %d\n", m.latCount)
+}

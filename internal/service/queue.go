@@ -1,0 +1,58 @@
+package service
+
+import "sync"
+
+// Queue is a bounded FIFO of jobs with non-blocking admission: TryEnqueue
+// refuses immediately when the queue is full (the handler turns that into
+// 429 + Retry-After) or after Close. Closing stops intake while letting
+// workers drain everything already admitted — the graceful-shutdown path.
+type Queue struct {
+	mu     sync.RWMutex
+	closed bool
+	ch     chan *Job
+}
+
+// NewQueue builds a queue holding at most depth waiting jobs.
+func NewQueue(depth int) *Queue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Queue{ch: make(chan *Job, depth)}
+}
+
+// TryEnqueue admits a job, reporting false when the queue is full or
+// closed. It never blocks.
+func (q *Queue) TryEnqueue(j *Job) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops intake; jobs already queued remain readable until drained.
+// Safe to call more than once.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// Chan is the worker-side receive channel; it ends after Close once the
+// backlog drains.
+func (q *Queue) Chan() <-chan *Job { return q.ch }
+
+// Depth is the number of jobs waiting (not yet claimed by a worker).
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// Cap is the admission limit.
+func (q *Queue) Cap() int { return cap(q.ch) }

@@ -1,0 +1,355 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Config sizes the daemon. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds waiting jobs; a full queue answers 429 (default 64).
+	QueueDepth int
+	// StoreCap bounds the LRU result store (default 256).
+	StoreCap int
+	// DefaultAccesses/DefaultWarmup/DefaultSeed fill unset request fields
+	// (defaults 2M / same-as-accesses / 42).
+	DefaultAccesses uint64
+	DefaultWarmup   *uint64
+	DefaultSeed     uint64
+	// JobTimeout is the per-job deadline; an expired job reports state
+	// cancelled (default 5m). Requests may shorten it, never extend it.
+	JobTimeout time.Duration
+	// Log receives operational messages (default: discard).
+	Log *log.Logger
+}
+
+// fill applies defaults.
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.StoreCap <= 0 {
+		c.StoreCap = 256
+	}
+	if c.DefaultAccesses == 0 {
+		c.DefaultAccesses = 2_000_000
+	}
+	if c.DefaultSeed == 0 {
+		c.DefaultSeed = 42
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+}
+
+// swappableWriter lets the server point the shared experiment suite's
+// output at a per-request buffer; renders are serialized by expMu.
+type swappableWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *swappableWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return len(p), nil
+	}
+	return s.w.Write(p)
+}
+
+func (s *swappableWriter) set(w io.Writer) {
+	s.mu.Lock()
+	s.w = w
+	s.mu.Unlock()
+}
+
+// Server is the slipd core: queue + workers + result store + metrics,
+// independent of the HTTP listener so tests can drive it via httptest.
+type Server struct {
+	cfg     Config
+	queue   *Queue
+	store   *Store
+	metrics *Metrics
+
+	// expSuite serves /v1/experiments with the server's default sizing;
+	// its memo cache is bounded by the finite experiment matrix.
+	// expRenderMu serializes renders; expOut redirects table output per
+	// request.
+	expSuite    *experiments.Suite
+	expOut      *swappableWriter
+	expRenderMu sync.Mutex
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	draining atomic.Bool
+	running  atomic.Int64
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	pending map[string]*Job // result key -> queued/running job (dedupe)
+
+	// testHookJobStart, when set, runs at the top of every job on the
+	// worker goroutine — tests use it to hold a worker busy
+	// deterministically instead of racing wall-clock sleeps.
+	testHookJobStart func(*Job)
+}
+
+// New builds a stopped server; call Start to launch the worker pool.
+func New(cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	expOut := &swappableWriter{}
+	warmup := cfg.DefaultAccesses
+	if cfg.DefaultWarmup != nil {
+		warmup = *cfg.DefaultWarmup
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   NewQueue(cfg.QueueDepth),
+		store:   NewStore(cfg.StoreCap),
+		metrics: NewMetrics(),
+		expSuite: experiments.NewSuite(experiments.Options{
+			Accesses:    cfg.DefaultAccesses,
+			Warmup:      warmup,
+			WarmupSet:   true,
+			Seed:        cfg.DefaultSeed,
+			Parallelism: cfg.Workers,
+			Out:         expOut,
+		}),
+		expOut:  expOut,
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*Job),
+		pending: make(map[string]*Job),
+	}
+	return s
+}
+
+// Metrics exposes the registry (tests assert on counters directly).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Store exposes the result store.
+func (s *Server) Store() *Store { return s.store }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown drains gracefully: intake stops (new POSTs get 503), queued and
+// in-flight jobs run to completion, then workers exit. If ctx expires
+// first, running simulations are cancelled (their jobs report cancelled)
+// and Shutdown returns ctx.Err() once the workers finish unwinding.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // abort in-flight simulations
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// newJobID returns a 16-hex-digit random id.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // the platform CSPRNG failing is not recoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// submit admits a request that missed the result store. It returns the
+// job to poll — either a freshly queued one or an existing job for the
+// same key (service-level singleflight) — or an admission error.
+var errQueueFull = errors.New("queue full")
+var errDraining = errors.New("server draining")
+
+func (s *Server) submit(req RunRequest, key string) (*Job, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	s.mu.Lock()
+	if j, ok := s.pending[key]; ok {
+		s.mu.Unlock()
+		return j, nil
+	}
+	sources := uint64(1)
+	if req.MixWith != "" {
+		sources = 2
+	}
+	j := &Job{
+		ID:      newJobID(),
+		Key:     key,
+		Req:     req,
+		State:   StateQueued,
+		Created: time.Now(),
+		Total:   sources * (*req.Warmup + req.Accesses),
+	}
+	s.jobs[j.ID] = j
+	s.pending[key] = j
+	s.mu.Unlock()
+
+	if !s.queue.TryEnqueue(j) {
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		delete(s.pending, key)
+		s.mu.Unlock()
+		if s.draining.Load() {
+			return nil, errDraining
+		}
+		return nil, errQueueFull
+	}
+	s.metrics.JobSubmitted()
+	return j, nil
+}
+
+// job looks up a job by id.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// queuedCount counts jobs in state queued (for /metrics).
+func (s *Server) queuedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.State == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// worker consumes the queue until it closes and drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue.Chan() {
+		s.runJob(j)
+	}
+}
+
+// jobDeadline resolves a job's effective deadline.
+func (s *Server) jobDeadline(j *Job) time.Duration {
+	d := s.cfg.JobTimeout
+	if j.Req.TimeoutMS > 0 {
+		if rd := time.Duration(j.Req.TimeoutMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return d
+}
+
+// runJob simulates one job on the calling worker goroutine. Each job gets
+// a fresh single-use suite: cross-job caching is the LRU store's business
+// (it keeps small flattened results), so daemon memory never accumulates
+// full simulated systems no matter how long it serves.
+func (s *Server) runJob(j *Job) {
+	if s.testHookJobStart != nil {
+		s.testHookJobStart(j)
+	}
+	s.mu.Lock()
+	j.State = StateRunning
+	j.Started = time.Now()
+	s.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.jobDeadline(j))
+	defer cancel()
+
+	var lastReported uint64
+	suite := experiments.NewSuite(experiments.Options{
+		Accesses:    j.Req.Accesses,
+		Warmup:      *j.Req.Warmup,
+		WarmupSet:   true,
+		Seed:        j.Req.Seed,
+		Parallelism: 1,
+		Progress: func(_ string, done uint64) {
+			j.progress.Store(done)
+			// One worker goroutine drives the whole job, so the delta
+			// accounting needs no synchronization of its own.
+			s.metrics.AddAccesses(done - lastReported)
+			lastReported = done
+		},
+	})
+
+	sp, _, err := specOf(&j.Req)
+	if err != nil {
+		// Unreachable: requests are validated at admission.
+		s.finishJob(j, nil, err)
+		return
+	}
+	sys, err := suite.RunSpecContext(ctx, sp)
+	if err != nil {
+		s.finishJob(j, nil, err)
+		return
+	}
+	s.finishJob(j, resultFrom(sys, &j.Req, time.Since(j.Started)), nil)
+}
+
+// finishJob records a terminal state, publishes the result, and updates
+// metrics.
+func (s *Server) finishJob(j *Job, res *RunResult, err error) {
+	s.mu.Lock()
+	j.Finished = time.Now()
+	switch {
+	case err == nil:
+		j.State = StateCompleted
+		j.Result = res
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.State = StateCancelled
+		j.Error = fmt.Sprintf("cancelled: %v", err)
+	default:
+		j.State = StateFailed
+		j.Error = err.Error()
+	}
+	delete(s.pending, j.Key)
+	s.mu.Unlock()
+
+	if err == nil {
+		s.store.Put(j.Key, res)
+	}
+	s.metrics.JobFinished(j.State, j.Finished.Sub(j.Started).Seconds())
+	s.cfg.Log.Printf("job %s %s (%s) in %v", j.ID, j.State, j.Key, j.Finished.Sub(j.Started).Round(time.Millisecond))
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is a fixed-capacity LRU of completed run results, keyed by the
+// experiments memo key prefixed with the sizing fingerprint (see specOf).
+// Results are small (a flat metrics struct), so the store bounds daemon
+// memory even though the underlying simulations are not retained.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	evictions uint64
+}
+
+// storeItem is one LRU node.
+type storeItem struct {
+	key string
+	res *RunResult
+}
+
+// NewStore builds a store holding at most capacity results.
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result for key, promoting it to most recent.
+func (st *Store) Get(key string) (*RunResult, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.items[key]
+	if !ok {
+		return nil, false
+	}
+	st.ll.MoveToFront(el)
+	return el.Value.(*storeItem).res, true
+}
+
+// Put inserts (or refreshes) a result, evicting the least-recently-used
+// entry when over capacity.
+func (st *Store) Put(key string, res *RunResult) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.items[key]; ok {
+		el.Value.(*storeItem).res = res
+		st.ll.MoveToFront(el)
+		return
+	}
+	st.items[key] = st.ll.PushFront(&storeItem{key: key, res: res})
+	if st.ll.Len() > st.cap {
+		oldest := st.ll.Back()
+		st.ll.Remove(oldest)
+		delete(st.items, oldest.Value.(*storeItem).key)
+		st.evictions++
+	}
+}
+
+// Len is the current number of cached results.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ll.Len()
+}
+
+// Evictions counts entries dropped to stay within capacity.
+func (st *Store) Evictions() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evictions
+}

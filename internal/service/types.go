@@ -1,0 +1,285 @@
+// Package service implements slipd, the simulation-as-a-service daemon:
+// an HTTP/JSON front end over the experiments engine with a bounded job
+// queue (backpressure via 429), a worker pool, an LRU result store keyed
+// by the experiments memo keys, per-job deadlines and cancellation, and
+// Prometheus-text metrics. See cmd/slipd for the binary.
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/hier"
+	"repro/internal/workloads"
+)
+
+// RunRequest is the POST /v1/runs body: one workload x policy x config
+// simulation. Zero-valued sizing fields inherit the server defaults.
+type RunRequest struct {
+	// Workload names a benchmark (see GET /v1/workloads via slipbench
+	// -list); required.
+	Workload string `json:"workload"`
+	// Policy is one of baseline, slip, slip+abp (alias slip-abp),
+	// nurapid, lru-pea; required.
+	Policy string `json:"policy"`
+	// MixWith, when set, runs a two-core multiprogrammed mix of Workload
+	// and MixWith (the Figure 16 setup).
+	MixWith string `json:"mix_with,omitempty"`
+
+	// Accesses is the measured trace length; Warmup the accesses replayed
+	// before statistics reset (nil = same as Accesses); Seed drives all
+	// randomness. Defaults come from the slipd flags.
+	Accesses uint64  `json:"accesses,omitempty"`
+	Warmup   *uint64 `json:"warmup,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+
+	// Config knobs mirroring the experiment variants.
+	BinBits         uint8 `json:"bin_bits,omitempty"`
+	DisableSampling bool  `json:"disable_sampling,omitempty"`
+	UseRRIP         bool  `json:"use_rrip,omitempty"`
+
+	// TimeoutMS overrides the server's per-job deadline (capped by it).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize applies server defaults; call before spec/key derivation so
+// equal effective requests share one result-store key.
+func (r *RunRequest) normalize(cfg Config) {
+	if r.Accesses == 0 {
+		r.Accesses = cfg.DefaultAccesses
+	}
+	if r.Warmup == nil {
+		w := r.Accesses
+		r.Warmup = &w
+	}
+	if r.Seed == 0 {
+		r.Seed = cfg.DefaultSeed
+	}
+}
+
+// parsePolicy maps the wire name to a PolicyKind.
+func parsePolicy(name string) (hier.PolicyKind, error) {
+	switch name {
+	case "baseline":
+		return hier.Baseline, nil
+	case "slip":
+		return hier.SLIP, nil
+	case "slip+abp", "slip-abp":
+		return hier.SLIPABP, nil
+	case "nurapid":
+		return hier.NuRAPID, nil
+	case "lru-pea":
+		return hier.LRUPEA, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (valid: baseline, slip, slip+abp, nurapid, lru-pea)", name)
+	}
+}
+
+// variantOf names the non-default config knobs, mirroring the experiment
+// variant strings so memo keys stay collision-free per configuration.
+func variantOf(r *RunRequest) string {
+	v := ""
+	if r.BinBits != 0 {
+		v += fmt.Sprintf("bits%d", r.BinBits)
+	}
+	if r.DisableSampling {
+		v += "+nosample"
+	}
+	if r.UseRRIP {
+		v += "+rrip"
+	}
+	return v
+}
+
+// specOf compiles a normalized, policy-parsed request into the engine's
+// RunSpec plus the full result-store key: the experiments memo key prefixed
+// with the sizing fingerprint, so runs differing only in accesses, warmup
+// or seed never collide.
+func specOf(r *RunRequest) (experiments.RunSpec, string, error) {
+	p, err := parsePolicy(r.Policy)
+	if err != nil {
+		return experiments.RunSpec{}, "", err
+	}
+	if _, ok := workloads.ByName(r.Workload); !ok {
+		return experiments.RunSpec{}, "", fmt.Errorf("unknown workload %q", r.Workload)
+	}
+	var sp experiments.RunSpec
+	if r.MixWith != "" {
+		if _, ok := workloads.ByName(r.MixWith); !ok {
+			return experiments.RunSpec{}, "", fmt.Errorf("unknown workload %q", r.MixWith)
+		}
+		if variantOf(r) != "" {
+			return experiments.RunSpec{}, "", fmt.Errorf("config knobs (bin_bits, disable_sampling, use_rrip) are not supported for mix runs")
+		}
+		sp = experiments.RunSpec{Policy: p, Mix: &workloads.Mix{A: r.Workload, B: r.MixWith}}
+	} else if v := variantOf(r); v != "" {
+		req := *r // capture by value: the closure must not see later mutation
+		sp = experiments.RunSpec{Workload: r.Workload, Policy: p, Variant: v, Mk: func() hier.Config {
+			return hier.Config{
+				Policy:          p,
+				Seed:            req.Seed,
+				BinBits:         req.BinBits,
+				DisableSampling: req.DisableSampling,
+				UseRRIP:         req.UseRRIP,
+			}
+		}}
+	} else {
+		sp = experiments.RunSpec{Workload: r.Workload, Policy: p}
+	}
+	key := fmt.Sprintf("acc=%d,warm=%d,seed=%d|%s", r.Accesses, *r.Warmup, r.Seed, sp.Key())
+	return sp, key, nil
+}
+
+// RunResult is the flattened metrics of one finished simulation — the same
+// quantities the paper's figures report.
+type RunResult struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	MixWith  string `json:"mix_with,omitempty"`
+	Variant  string `json:"variant,omitempty"`
+	Accesses uint64 `json:"accesses"`
+	Warmup   uint64 `json:"warmup"`
+	Seed     uint64 `json:"seed"`
+
+	L1HitRate float64 `json:"l1_hit_rate"`
+	L2HitRate float64 `json:"l2_hit_rate"`
+	L3HitRate float64 `json:"l3_hit_rate"`
+
+	CorePJ       float64 `json:"core_pj"`
+	L1PJ         float64 `json:"l1_pj"`
+	L2PJ         float64 `json:"l2_pj"`
+	L3PJ         float64 `json:"l3_pj"`
+	DRAMPJ       float64 `json:"dram_pj"`
+	EOUPJ        float64 `json:"eou_pj"`
+	FullSystemPJ float64 `json:"full_system_pj"`
+
+	L2Misses          uint64 `json:"l2_misses"`
+	L3Misses          uint64 `json:"l3_misses"`
+	DRAMTraffic       uint64 `json:"dram_traffic"`
+	DRAMDemandTraffic uint64 `json:"dram_demand_traffic"`
+
+	Instrs uint64  `json:"instrs"`
+	Cycles float64 `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// hitRate guards the zero-access division.
+func hitRate(hits, accesses uint64) float64 {
+	if accesses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(accesses)
+}
+
+// resultFrom flattens a finished system into the wire result.
+func resultFrom(sys *hier.System, r *RunRequest, elapsed time.Duration) *RunResult {
+	cores := sys.Config().NumCores
+	var l1Hits, l1Acc, l2Hits, l2Acc uint64
+	for i := 0; i < cores; i++ {
+		l1Hits += sys.L1(i).Stats.Hits.Value()
+		l1Acc += sys.L1(i).Stats.Accesses.Value()
+		l2Hits += sys.L2(i).Stats.Hits.Value()
+		l2Acc += sys.L2(i).Stats.Accesses.Value()
+	}
+	res := &RunResult{
+		Workload: r.Workload,
+		Policy:   r.Policy,
+		MixWith:  r.MixWith,
+		Variant:  variantOf(r),
+		Accesses: r.Accesses,
+		Warmup:   *r.Warmup,
+		Seed:     r.Seed,
+
+		L1HitRate: hitRate(l1Hits, l1Acc),
+		L2HitRate: hitRate(l2Hits, l2Acc),
+		L3HitRate: hitRate(sys.L3().Stats.Hits.Value(), sys.L3().Stats.Accesses.Value()),
+
+		CorePJ:       sys.CorePJ(),
+		L1PJ:         sys.L1TotalPJ(),
+		L2PJ:         sys.L2TotalPJ(),
+		L3PJ:         sys.L3TotalPJ(),
+		DRAMPJ:       sys.DRAMPJ(),
+		EOUPJ:        sys.EOUPJ,
+		FullSystemPJ: sys.FullSystemPJ(),
+
+		L2Misses:          sys.L2Misses(true),
+		L3Misses:          sys.L3Misses(true),
+		DRAMTraffic:       sys.DRAMTraffic(),
+		DRAMDemandTraffic: sys.DRAMDemandTraffic(),
+
+		Instrs: sys.TotalInstrs(),
+		Cycles: sys.MaxCycles(),
+
+		SimSeconds: elapsed.Seconds(),
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instrs) / res.Cycles
+	}
+	return res
+}
+
+// JobState is the lifecycle of a queued run.
+type JobState string
+
+// The job states reported by GET /v1/runs/{id}.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	StateCancelled JobState = "cancelled"
+	StateFailed    JobState = "failed"
+)
+
+// Job tracks one submitted run. State transitions happen under the
+// server's mutex; progress is atomic so the simulating worker can update
+// it without locking.
+type Job struct {
+	ID  string
+	Key string
+	Req RunRequest
+
+	State    JobState
+	Result   *RunResult
+	Error    string
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+
+	// Total is the expected access count (warmup + measured, per source);
+	// progress counts accesses already driven.
+	Total    uint64
+	progress atomic.Uint64
+}
+
+// JobView is the GET /v1/runs/{id} body (also returned by POST).
+type JobView struct {
+	ID       string     `json:"id,omitempty"`
+	State    JobState   `json:"state"`
+	Key      string     `json:"key"`
+	Cached   bool       `json:"cached,omitempty"`
+	Progress uint64     `json:"progress_accesses"`
+	Total    uint64     `json:"total_accesses"`
+	Error    string     `json:"error,omitempty"`
+	Result   *RunResult `json:"result,omitempty"`
+}
+
+// view snapshots a job; call with the server mutex held.
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:       j.ID,
+		State:    j.State,
+		Key:      j.Key,
+		Progress: j.progress.Load(),
+		Total:    j.Total,
+		Error:    j.Error,
+		Result:   j.Result,
+	}
+	if v.State == StateCompleted {
+		v.Progress = v.Total
+	}
+	return v
+}

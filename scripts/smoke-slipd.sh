@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Smoke test for the slipd daemon: build, start, health-check, submit one
+# run, poll to completion, assert a non-empty result, verify the result
+# store answers an identical POST, and drain cleanly on SIGTERM.
+set -euo pipefail
+
+ADDR="${SLIPD_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/slipd"
+
+cd "$(dirname "$0")/.."
+go build -o "$BIN" ./cmd/slipd
+
+"$BIN" -addr "$ADDR" -accesses 20000 -warmup 20000 -queue 8 -store 16 &
+PID=$!
+cleanup() { kill "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+# Wait for the daemon to come up.
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q ok
+echo "healthz ok"
+
+REQ='{"workload":"milc","policy":"slip+abp","seed":7}'
+ID=$(curl -fsS -X POST -d "$REQ" "$BASE/v1/runs" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "no job id returned"; exit 1; }
+echo "submitted job $ID"
+
+BODY=""
+for _ in $(seq 1 300); do
+  BODY=$(curl -fsS "$BASE/v1/runs/$ID")
+  case "$BODY" in
+    *'"state":"completed"'*) break ;;
+    *'"state":"failed"'* | *'"state":"cancelled"'*) echo "job did not complete: $BODY"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+echo "$BODY" | grep -q '"state":"completed"' || { echo "timed out: $BODY"; exit 1; }
+echo "$BODY" | grep -q '"full_system_pj":[0-9]' || { echo "empty result: $BODY"; exit 1; }
+echo "job completed with a result"
+
+# An identical POST must be served from the result store...
+CACHED=$(curl -fsS -X POST -d "$REQ" "$BASE/v1/runs")
+echo "$CACHED" | grep -q '"cached":true' || { echo "second POST not cached: $CACHED"; exit 1; }
+# ...and the cache-hit counter must observe it.
+curl -fsS "$BASE/metrics" | grep -q '^slipd_result_cache_hits_total 1$' || {
+  echo "cache hit not visible in /metrics"; exit 1
+}
+echo "result store hit confirmed via /metrics"
+
+# SIGTERM must drain cleanly (exit 0).
+kill -TERM "$PID"
+wait "$PID"
+echo "slipd smoke test passed"
