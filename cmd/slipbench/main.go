@@ -6,24 +6,64 @@
 //
 //	slipbench [-exp all|fig1,fig3,table2,htree,fig9,...] [-accesses N]
 //	          [-seed N] [-benchmarks a,b,c] [-parallel N]
+//	slipbench -exp tech22 -dump-spec     # print the experiments' specs as JSON
+//	slipbench -spec runs.json            # simulate a spec list from a file
 //
 // With -parallel > 1 the union of simulations the selected experiments
 // need is fanned over a bounded worker pool before any table is printed;
 // results are bit-identical to a sequential run (each simulation stays on
 // one goroutine).
+//
+// -dump-spec prints the canonical spec (see internal/spec) of every run
+// the selected experiments consume, as a JSON array: the exact inputs
+// behind each figure, replayable one by one via slipsim -spec or POST
+// /v1/runs. -spec does the reverse: it reads such an array (or a single
+// spec object) and simulates each entry, printing its label, content hash
+// and full-system energy.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/spec"
 	"repro/internal/workloads"
 )
+
+// readSpecs decodes a -spec file: a JSON array of specs, or a single spec
+// object (the shape slipsim -dump-spec emits).
+func readSpecs(path string) ([]spec.Spec, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if dec := json.NewDecoder(bytes.NewReader(data)); true {
+		dec.DisallowUnknownFields()
+		var specs []spec.Spec
+		if err := dec.Decode(&specs); err == nil {
+			return specs, nil
+		}
+	}
+	one, err := spec.Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("slipbench: -spec %s: not a spec array or object: %w", path, err)
+	}
+	return []spec.Spec{one}, nil
+}
 
 func main() {
 	var (
@@ -34,6 +74,8 @@ func main() {
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for simulations (1 = sequential)")
+		dumpSpec = flag.Bool("dump-spec", false, "print the selected experiments' canonical run specs as JSON and exit")
+		specIn   = flag.String("spec", "", "simulate a JSON spec list from this file instead of -exp ('-' for stdin)")
 	)
 	flag.Parse()
 
@@ -72,6 +114,29 @@ func main() {
 	}
 	suite := experiments.NewSuite(opts)
 
+	if *specIn != "" {
+		specs, err := readSpecs(*specIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i, sp := range specs {
+			if _, err := suite.ResolveSpec(sp); err != nil {
+				fmt.Fprintf(os.Stderr, "slipbench: spec %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+		start := time.Now()
+		suite.Prefetch(specs)
+		fmt.Printf("[simulated %d specs on %d workers in %v]\n\n",
+			len(specs), *parallel, time.Since(start).Round(time.Millisecond))
+		for _, sp := range specs {
+			sys := suite.RunS(sp)
+			fmt.Printf("%-40s %s  %.1f uJ\n", sp.Label(), suite.KeyFor(sp), sys.FullSystemPJ()/1e6)
+		}
+		return
+	}
+
 	var names []string
 	if *exp == "all" {
 		names = experiments.ExperimentNames()
@@ -84,6 +149,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", n)
 			os.Exit(1)
 		}
+	}
+
+	if *dumpSpec {
+		specs := suite.SpecsForAll(names)
+		resolved := make([]spec.Spec, len(specs))
+		for i, sp := range specs {
+			c, err := suite.ResolveSpec(sp)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			resolved[i] = c
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resolved); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Simulate the union of runs the selected experiments need up front,

@@ -6,8 +6,16 @@
 //
 //	slipsim -workload soplex -policy slip+abp [-accesses N] [-warmup N]
 //	        [-seed N] [-cores 2 -workload2 mcf] [-rrip] [-binbits 4]
-//	        [-cpuprofile cpu.out]
+//	        [-tech 22nm] [-topology h-tree] [-cpuprofile cpu.out]
+//	slipsim -spec run.json                       # run a declarative spec file
+//	slipsim -workload mcf -dump-spec             # print the canonical spec
 //	slipsim -trace file.trc -policy baseline     # replay a tracegen file
+//
+// The flags and the -spec file describe the same canonical simulation spec
+// (see internal/spec): -dump-spec prints the canonical JSON the flags
+// denote, and that JSON round-trips through -spec (or POSTs to slipd)
+// to reproduce the identical run — `slipsim -dump-spec | slipsim -spec
+// /dev/stdin` is the identity.
 //
 // -cpuprofile writes a pprof CPU profile covering warmup + measurement;
 // inspect it with `go tool pprof -top cpu.out`.
@@ -20,26 +28,15 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/hier"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
-func parsePolicy(s string) (hier.PolicyKind, error) {
-	switch s {
-	case "baseline":
-		return hier.Baseline, nil
-	case "slip":
-		return hier.SLIP, nil
-	case "slip+abp", "slipabp":
-		return hier.SLIPABP, nil
-	case "nurapid":
-		return hier.NuRAPID, nil
-	case "lru-pea", "lrupea":
-		return hier.LRUPEA, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q (baseline|slip|slip+abp|nurapid|lru-pea)", s)
-	}
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func main() {
@@ -53,90 +50,133 @@ func main() {
 		cores    = flag.Int("cores", 1, "number of cores (private L2s, shared L3)")
 		rrip     = flag.Bool("rrip", false, "use SRRIP replacement instead of LRU")
 		binBits  = flag.Uint("binbits", 0, "distribution counter width (0 = default 4)")
+		tech     = flag.String("tech", "", "technology node: 45nm (default) or 22nm")
+		topology = flag.String("topology", "", "interconnect: way-interleaved (default), set-interleaved or h-tree")
+		specIn   = flag.String("spec", "", "run a canonical spec JSON file instead of the flags ('-' for stdin)")
+		dumpSpec = flag.Bool("dump-spec", false, "print the canonical spec JSON for the given flags and exit")
 		traceIn  = flag.String("trace", "", "replay a binary trace file instead of a workload")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
 
+	// Resolve the run description: a spec file, or the flags translated
+	// into the same declarative form.
+	var sp spec.Spec
+	if *specIn != "" {
+		f := os.Stdin
+		if *specIn != "-" {
+			var err error
+			if f, err = os.Open(*specIn); err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+		}
+		var err error
+		if sp, err = spec.Parse(f); err != nil {
+			fatal(err)
+		}
+	} else {
+		sp = spec.Spec{
+			Policy:   *policyFl,
+			Workload: *wl,
+			MixWith:  *wl2,
+			Cores:    *cores,
+			Accesses: *acc,
+			Warmup:   warm,
+			Seed:     *seed,
+			BinBits:  uint8(*binBits),
+			UseRRIP:  *rrip,
+			Tech:     *tech,
+			Topology: *topology,
+		}
+	}
+
+	if *dumpSpec {
+		if err := sp.EncodeJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	c, err := sp.Canonical()
+	if err != nil && *traceIn == "" {
+		fatal(err)
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 
-	pol, err := parsePolicy(*policyFl)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	sys := hier.New(hier.Config{
-		Policy:   pol,
-		NumCores: *cores,
-		Seed:     *seed,
-		UseRRIP:  *rrip,
-		BinBits:  uint8(*binBits),
-	})
-
-	srcFor := func(name string, seed uint64) trace.Source {
-		spec, ok := workloads.ByName(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
-			os.Exit(1)
-		}
-		return spec.Build(seed)
-	}
-
-	var srcs []trace.Source
+	// Trace replay bypasses the spec path: the access stream comes from a
+	// file, so only the policy/knob flags apply.
 	if *traceIn != "" {
-		f, err := os.Open(*traceIn)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		r, err := trace.NewReader(f)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		srcs = []trace.Source{r}
 		if *cores != 1 {
-			fmt.Fprintln(os.Stderr, "-trace replay supports one core")
-			os.Exit(1)
+			fatal(fmt.Errorf("-trace replay supports one core"))
 		}
-	} else {
-		srcs = append(srcs, srcFor(*wl, *seed))
-		for c := 1; c < *cores; c++ {
-			second := *wl2
-			if second == "" {
-				second = *wl
-			}
-			srcs = append(srcs, srcFor(second, *seed+uint64(c)))
-		}
+		runTrace(*traceIn, *policyFl, *seed, *rrip, uint8(*binBits), *acc)
+		return
 	}
 
-	if *warm > 0 && *traceIn == "" {
-		warmSrcs := make([]trace.Source, len(srcs))
-		for i, s := range srcs {
-			warmSrcs[i] = trace.Limit(s, *warm)
+	cfg, err := c.Build()
+	if err != nil {
+		fatal(err)
+	}
+	sys := hier.New(cfg)
+
+	srcs := make([]trace.Source, cfg.NumCores)
+	for i := range srcs {
+		name := c.Workload
+		if i > 0 && c.MixWith != "" {
+			name = c.MixWith
 		}
-		sys.Run(warmSrcs...)
+		w, _ := workloads.ByName(name) // canonical specs name valid workloads
+		srcs[i] = w.Build(c.Seed + uint64(i))
+	}
+	limit := func(n uint64) []trace.Source {
+		out := make([]trace.Source, len(srcs))
+		for i, s := range srcs {
+			out[i] = trace.Limit(s, n)
+		}
+		return out
+	}
+	if *c.Warmup > 0 {
+		sys.Run(limit(*c.Warmup)...)
 		sys.ResetStats()
 	}
-	measured := make([]trace.Source, len(srcs))
-	for i, s := range srcs {
-		measured[i] = trace.Limit(s, *acc)
+	sys.Run(limit(c.Accesses)...)
+	report(sys, cfg.Policy)
+}
+
+// runTrace replays a tracegen file through a single-core system.
+func runTrace(path, policy string, seed uint64, rrip bool, binBits uint8, acc uint64) {
+	pol, err := hier.ParsePolicy(policy)
+	if err != nil {
+		fatal(err)
 	}
-	sys.Run(measured...)
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	sys := hier.New(hier.Config{
+		Policy:  pol,
+		Seed:    seed,
+		UseRRIP: rrip,
+		BinBits: binBits,
+	})
+	sys.Run(trace.Limit(r, acc))
 	report(sys, pol)
 }
 

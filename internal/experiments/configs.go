@@ -1,67 +1,44 @@
 package experiments
 
 import (
-	"fmt"
-
-	"repro/internal/energy"
 	"repro/internal/hier"
+	"repro/internal/spec"
 )
 
-// This file holds the configuration constructors for every simulated
-// variant. They are hoisted out of the figure methods so SpecsFor can name
-// the exact same runs a figure will later consume — Prefetch then hits the
-// same memo keys the figure does.
+// This file holds the spec constructors for every simulated variant. They
+// are hoisted out of the figure methods so SpecsFor can name the exact same
+// runs a figure will later consume — Prefetch then hits the same memo keys
+// the figure does. Each constructor returns a declarative RunSpec; sizing
+// (accesses, warmup, seed) is stamped in by the suite at resolve time.
 
-// mkDefault is the stock single-core configuration for a policy.
-func (s *Suite) mkDefault(p hier.PolicyKind) func() hier.Config {
-	return func() hier.Config {
-		return hier.Config{Policy: p, Seed: s.opts.Seed}
-	}
+// htreeSpec is the Section 2.1 H-tree interconnect variant (baseline
+// policy, uniform per-way energies from the H-tree wire model).
+func htreeSpec(wl string) RunSpec {
+	sp := spec.Single(wl, hier.Baseline)
+	sp.Topology = spec.TopoHTree
+	return sp
 }
 
-// mkHTree is the Section 2.1 H-tree interconnect variant (baseline policy,
-// uniform per-way energies from the H-tree wire model).
-func (s *Suite) mkHTree() func() hier.Config {
-	return func() hier.Config {
-		return hier.Config{
-			Policy:   hier.Baseline,
-			Seed:     s.opts.Seed,
-			L2Params: energy.UniformParams(energy.L2Grid45(), energy.HTree, []int{4, 4, 8}, 7, 1),
-			L3Params: energy.UniformParams(energy.L3Grid45(), energy.HTree, []int{4, 4, 8}, 20, 2.5),
-		}
-	}
-}
-
-// mkTech22 is the Section 6 22nm technology-scaling variant.
-func (s *Suite) mkTech22(p hier.PolicyKind) func() hier.Config {
-	return func() hier.Config {
-		t := energy.Tech22()
-		return hier.Config{
-			Policy:   p,
-			Seed:     s.opts.Seed,
-			L2Params: energy.ParamsFromGrid(energy.L2Grid45().WithTech(t), []int{4, 4, 8}, []int{4, 6, 8}, 7, 0.6),
-			L3Params: energy.ParamsFromGrid(energy.L3Grid45().WithTech(t), []int{4, 4, 8}, []int{15, 19, 23}, 20, 1.5),
-			DRAM:     energy.DRAMParams{LatencyCycles: 100, PJPerBit: t.DRAMPJPerBit},
-		}
-	}
+// tech22Spec is the Section 6 22nm technology-scaling variant.
+func tech22Spec(wl string, p hier.PolicyKind) RunSpec {
+	sp := spec.Single(wl, p)
+	sp.Tech = spec.Tech22
+	return sp
 }
 
 // binWidths is the Section 6 distribution-accuracy sweep.
 var binWidths = []uint8{2, 3, 4, 6, 8}
 
-// mkBits is the distribution counter-width sensitivity variant.
-func (s *Suite) mkBits(b uint8) func() hier.Config {
-	return func() hier.Config {
-		return hier.Config{Policy: hier.SLIPABP, Seed: s.opts.Seed, BinBits: b}
-	}
+// bitsSpec is the distribution counter-width sensitivity variant.
+func bitsSpec(wl string, b uint8) RunSpec {
+	sp := spec.Single(wl, hier.SLIPABP)
+	sp.BinBits = b
+	return sp
 }
 
-// bitsVariant names a counter-width run in the memo cache.
-func bitsVariant(b uint8) string { return fmt.Sprintf("bits%d", b) }
-
-// mkNoSample is the always-sample variant motivating Section 4.2.
-func (s *Suite) mkNoSample() func() hier.Config {
-	return func() hier.Config {
-		return hier.Config{Policy: hier.SLIPABP, Seed: s.opts.Seed, DisableSampling: true}
-	}
+// noSampleSpec is the always-sample variant motivating Section 4.2.
+func noSampleSpec(wl string) RunSpec {
+	sp := spec.Single(wl, hier.SLIPABP)
+	sp.DisableSampling = true
+	return sp
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/hier"
+	"repro/internal/spec"
 )
 
 // TestPrefetchContextCancelledUpFront: an already-dead context must stop
@@ -19,8 +20,8 @@ func TestPrefetchContextCancelledUpFront(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	err := s.PrefetchContext(ctx, []RunSpec{
-		{Workload: "milc", Policy: hier.Baseline},
-		{Workload: "sphinx3", Policy: hier.Baseline},
+		spec.Single("milc", hier.Baseline),
+		spec.Single("sphinx3", hier.Baseline),
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("PrefetchContext on cancelled ctx = %v, want context.Canceled", err)
@@ -44,7 +45,7 @@ func TestCancelMidRunDoesNotPoisonCache(t *testing.T) {
 	withHook := opts
 	withHook.Progress = func(string, uint64) { once.Do(cancel) }
 	s := NewSuite(withHook)
-	sp := RunSpec{Workload: "milc", Policy: hier.Baseline}
+	sp := spec.Single("milc", hier.Baseline)
 
 	if _, err := s.RunSpecContext(ctx, sp); !errors.Is(err, context.Canceled) {
 		t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
@@ -92,7 +93,7 @@ func TestProgressReportsMonotonicCumulativeAccesses(t *testing.T) {
 	var mu sync.Mutex
 	var last uint64
 	var calls int
-	wantKey := RunSpec{Workload: "milc", Policy: hier.Baseline}.Key()
+	var wantKey string
 	s := NewSuite(Options{
 		Accesses: 30_000, Warmup: 10_000, Seed: 7,
 		Benchmarks: []string{"milc"}, Parallelism: 1,
@@ -109,6 +110,7 @@ func TestProgressReportsMonotonicCumulativeAccesses(t *testing.T) {
 			calls++
 		},
 	})
+	wantKey = s.KeyFor(spec.Single("milc", hier.Baseline))
 	s.Run("milc", hier.Baseline)
 	mu.Lock()
 	defer mu.Unlock()

@@ -158,7 +158,7 @@ func (s *Suite) HTree() HTreeResult {
 		"bench", "L2 overhead", "L3 overhead")
 	for _, name := range s.opts.Benchmarks {
 		base := s.Run(name, hier.Baseline)
-		ht := s.RunWith(name, hier.Baseline, "htree", s.mkHTree())
+		ht := s.RunS(htreeSpec(name))
 		o2 := 100 * (ht.L2TotalPJ()/base.L2TotalPJ() - 1)
 		o3 := 100 * (ht.L3TotalPJ()/base.L3TotalPJ() - 1)
 		l2Over = append(l2Over, o2)

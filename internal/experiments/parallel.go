@@ -7,59 +7,35 @@ import (
 	"sync"
 
 	"repro/internal/hier"
+	"repro/internal/spec"
 	"repro/internal/workloads"
 )
 
-// RunSpec names one simulation the Suite can perform: either a single-core
-// workload/policy/variant run or (when Mix is set) a two-core mix run. A
-// nil Mk means the default configuration for the policy.
-type RunSpec struct {
-	Workload string
-	Policy   hier.PolicyKind
-	Variant  string
-	Mk       func() hier.Config
-	Mix      *workloads.Mix
-}
-
-// Key is the memo key the spec will occupy, matching Run/RunWith/RunMix.
-// External result caches (the slipd LRU store) key on it too, so its format
-// is part of the package's contract.
-func (sp RunSpec) Key() string {
-	if sp.Mix != nil {
-		return runKey("mix:"+sp.Mix.Name(), sp.Policy, "")
-	}
-	return runKey(sp.Workload, sp.Policy, sp.Variant)
-}
-
-// validate panics (with the valid workload set) on a bad spec. Prefetch
-// validates every spec up front, in the caller's goroutine, so a typo
-// surfaces as an ordinary panic instead of crashing a worker.
-func (sp RunSpec) validate() {
-	if sp.Mix != nil {
-		mustSpec(sp.Mix.A)
-		mustSpec(sp.Mix.B)
-		return
-	}
-	mustSpec(sp.Workload)
-}
+// RunSpec is the declarative description of one simulation the Suite can
+// perform — an alias for spec.Spec, so the CLI, the experiment engine and
+// the slipd daemon all speak the same canonical run description. Sizing
+// fields left unset inherit the suite's Options; everything else defaults
+// to the paper configuration.
+type RunSpec = spec.Spec
 
 // RunSpecContext executes one spec through the memoizing entry points
 // under ctx; the only error is ctx.Err() from a cancelled run. It is the
-// unit of work of Prefetch workers and of the slipd job workers.
+// unit of work of Prefetch workers and of the slipd job workers. The memo
+// key is the resolved spec's canonical content hash (see KeyFor), so two
+// specs describing the same simulation share one flight no matter which
+// layer submitted them. Invalid specs panic, in the caller's goroutine,
+// with the valid alternatives named.
 func (s *Suite) RunSpecContext(ctx context.Context, sp RunSpec) (*hier.System, error) {
-	switch {
-	case sp.Mix != nil:
-		return s.RunMixContext(ctx, *sp.Mix, sp.Policy)
-	case sp.Mk != nil:
-		return s.RunWithContext(ctx, sp.Workload, sp.Policy, sp.Variant, sp.Mk)
-	default:
-		return s.RunWithContext(ctx, sp.Workload, sp.Policy, "", s.mkDefault(sp.Policy))
-	}
+	c := s.mustResolve(sp)
+	key := c.MustHash()
+	return s.getOrRun(ctx, key, func(ctx context.Context) (*hier.System, error) {
+		return s.simulate(ctx, key, c)
+	})
 }
 
 // Prefetch simulates the given specs over a worker pool bounded by
 // Options.Parallelism and leaves the results in the memo cache; subsequent
-// Run/RunWith/RunMix calls for the same keys return instantly. Duplicate
+// Run/RunS/RunMix calls for the same keys return instantly. Duplicate
 // specs are collapsed by the singleflight cache. Each simulation runs
 // entirely on one worker goroutine, so results are bit-identical to a
 // sequential execution of the same specs.
@@ -73,8 +49,10 @@ func (s *Suite) Prefetch(specs []RunSpec) {
 // few thousand accesses, and ctx.Err() is returned. Completed specs stay
 // memoized; abandoned ones leave no trace, so a later retry starts clean.
 func (s *Suite) PrefetchContext(ctx context.Context, specs []RunSpec) error {
+	// Resolve every spec up front, in the caller's goroutine, so a typo
+	// surfaces as an ordinary panic instead of crashing a worker.
 	for _, sp := range specs {
-		sp.validate()
+		s.mustResolve(sp)
 	}
 	n := s.opts.Parallelism
 	if n > len(specs) {
@@ -125,7 +103,7 @@ func (s *Suite) RunAllContext(ctx context.Context, policies ...hier.PolicyKind) 
 	var specs []RunSpec
 	for _, wl := range s.opts.Benchmarks {
 		for _, p := range policies {
-			specs = append(specs, RunSpec{Workload: wl, Policy: p})
+			specs = append(specs, spec.Single(wl, p))
 		}
 	}
 	if err := s.PrefetchContext(ctx, specs); err != nil {
@@ -152,7 +130,7 @@ func (s *Suite) SpecsFor(exp string) []RunSpec {
 		var specs []RunSpec
 		for _, wl := range s.opts.Benchmarks {
 			for _, p := range pols {
-				specs = append(specs, RunSpec{Workload: wl, Policy: p})
+				specs = append(specs, spec.Single(wl, p))
 			}
 		}
 		return specs
@@ -162,7 +140,7 @@ func (s *Suite) SpecsFor(exp string) []RunSpec {
 	case "fig1":
 		var specs []RunSpec
 		for _, wl := range workloads.Fig1Set() {
-			specs = append(specs, RunSpec{Workload: wl, Policy: hier.Baseline})
+			specs = append(specs, spec.Single(wl, hier.Baseline))
 		}
 		return specs
 	case "fig3", "table2":
@@ -170,9 +148,7 @@ func (s *Suite) SpecsFor(exp string) []RunSpec {
 	case "htree":
 		specs := matrix(hier.Baseline)
 		for _, wl := range s.opts.Benchmarks {
-			specs = append(specs, RunSpec{
-				Workload: wl, Policy: hier.Baseline, Variant: "htree", Mk: s.mkHTree(),
-			})
+			specs = append(specs, htreeSpec(wl))
 		}
 		return specs
 	case "fig9", "fig11", "fig13", "fig15":
@@ -184,9 +160,8 @@ func (s *Suite) SpecsFor(exp string) []RunSpec {
 	case "fig16":
 		var specs []RunSpec
 		for _, m := range workloads.Mixes() {
-			m := m
 			for _, p := range []hier.PolicyKind{hier.Baseline, hier.SLIPABP} {
-				specs = append(specs, RunSpec{Policy: p, Mix: &m})
+				specs = append(specs, spec.ForMix(m.A, m.B, p))
 			}
 		}
 		return specs
@@ -194,29 +169,22 @@ func (s *Suite) SpecsFor(exp string) []RunSpec {
 		var specs []RunSpec
 		for _, wl := range s.opts.Benchmarks {
 			for _, p := range []hier.PolicyKind{hier.Baseline, hier.SLIPABP} {
-				specs = append(specs, RunSpec{
-					Workload: wl, Policy: p, Variant: "22nm", Mk: s.mkTech22(p),
-				})
+				specs = append(specs, tech22Spec(wl, p))
 			}
 		}
 		return specs
 	case "binwidth":
 		specs := matrix(hier.Baseline)
 		for _, b := range binWidths {
-			b := b
 			for _, wl := range s.opts.Benchmarks {
-				specs = append(specs, RunSpec{
-					Workload: wl, Policy: hier.SLIPABP, Variant: bitsVariant(b), Mk: s.mkBits(b),
-				})
+				specs = append(specs, bitsSpec(wl, b))
 			}
 		}
 		return specs
 	case "sampling":
 		specs := matrix(hier.SLIPABP)
 		for _, wl := range s.opts.Benchmarks {
-			specs = append(specs, RunSpec{
-				Workload: wl, Policy: hier.SLIPABP, Variant: "nosample", Mk: s.mkNoSample(),
-			})
+			specs = append(specs, noSampleSpec(wl))
 		}
 		return specs
 	default:
@@ -232,7 +200,7 @@ func (s *Suite) SpecsForAll(exps []string) []RunSpec {
 	var specs []RunSpec
 	for _, exp := range exps {
 		for _, sp := range s.SpecsFor(exp) {
-			if k := sp.Key(); !seen[k] {
+			if k := s.KeyFor(sp); !seen[k] {
 				seen[k] = true
 				specs = append(specs, sp)
 			}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/hier"
+	"repro/internal/spec"
 	"repro/internal/workloads"
 )
 
@@ -111,9 +112,10 @@ func TestPrefetchCoversFigureRuns(t *testing.T) {
 	}
 }
 
-// TestRunMixKeyNamespaced guards the memo-key fix: mix runs must occupy
-// their own namespace so they can never collide with single-core keys.
-func TestRunMixKeyNamespaced(t *testing.T) {
+// TestRunMixKeyDistinct guards the memo-key invariant: a mix run must be
+// memoized once, under a spec hash that can never collide with the
+// single-core runs of either component workload.
+func TestRunMixKeyDistinct(t *testing.T) {
 	s := NewSuite(Options{
 		Accesses: 5_000, Warmup: 0, WarmupSet: true, Seed: 7,
 	})
@@ -123,8 +125,13 @@ func TestRunMixKeyNamespaced(t *testing.T) {
 		t.Error("identical mix runs not memoized")
 	}
 	keys := s.Keys()
-	if len(keys) != 1 || !strings.HasPrefix(keys[0], "mix:") {
-		t.Errorf("mix memo keys = %v, want a single mix:-prefixed key", keys)
+	if len(keys) != 1 || !strings.HasPrefix(keys[0], "s1:") {
+		t.Errorf("mix memo keys = %v, want a single spec-hash key", keys)
+	}
+	for _, wl := range []string{"milc", "sphinx3"} {
+		if k := s.KeyFor(spec.Single(wl, hier.Baseline)); k == keys[0] {
+			t.Errorf("mix key collides with single-core %s key %q", wl, k)
+		}
 	}
 }
 
@@ -145,7 +152,7 @@ func TestPanicListsValidWorkloads(t *testing.T) {
 		f()
 	}
 	s := smallSuite()
-	check("RunWith", func() { s.Run("nonesuch", hier.Baseline) })
+	check("Run", func() { s.Run("nonesuch", hier.Baseline) })
 	check("RunMix", func() { s.RunMix(workloads.Mix{A: "milc", B: "nonesuch"}, hier.Baseline) })
-	check("Prefetch", func() { s.Prefetch([]RunSpec{{Workload: "nonesuch", Policy: hier.Baseline}}) })
+	check("Prefetch", func() { s.Prefetch([]RunSpec{spec.Single("nonesuch", hier.Baseline)}) })
 }

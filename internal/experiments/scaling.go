@@ -65,8 +65,8 @@ func (s *Suite) Tech22() Tech22Result {
 	tb := stats.NewTable("Section 6: SLIP+ABP at 22nm", "bench", "L2 savings", "L3 savings")
 	var v2, v3 []float64
 	for _, name := range s.opts.Benchmarks {
-		base := s.RunWith(name, hier.Baseline, "22nm", s.mkTech22(hier.Baseline))
-		abp := s.RunWith(name, hier.SLIPABP, "22nm", s.mkTech22(hier.SLIPABP))
+		base := s.RunS(tech22Spec(name, hier.Baseline))
+		abp := s.RunS(tech22Spec(name, hier.SLIPABP))
 		sv2 := stats.Savings(base.L2TotalPJ(), abp.L2TotalPJ())
 		sv3 := stats.Savings(base.L3TotalPJ(), abp.L3TotalPJ())
 		v2 = append(v2, sv2)
@@ -97,7 +97,7 @@ func (s *Suite) BinWidth() BinWidthResult {
 		var v []float64
 		for _, name := range s.opts.Benchmarks {
 			base := s.Run(name, hier.Baseline)
-			sys := s.RunWith(name, hier.SLIPABP, bitsVariant(b), s.mkBits(b))
+			sys := s.RunS(bitsSpec(name, b))
 			v = append(v, stats.Savings(
 				base.L2TotalPJ()+base.L3TotalPJ(),
 				sys.L2TotalPJ()+sys.L3TotalPJ()))
@@ -127,7 +127,7 @@ func (s *Suite) Sampling() SamplingResult {
 		"bench", "meta share of L2 accesses (sampled)", "(always)", "meta share of DRAM (sampled)")
 	for _, name := range s.opts.Benchmarks {
 		sys := s.Run(name, hier.SLIPABP)
-		always := s.RunWith(name, hier.SLIPABP, "nosample", s.mkNoSample())
+		always := s.RunS(noSampleSpec(name))
 		l2acc := float64(sys.L2(0).Stats.Accesses.Value())
 		l2accA := float64(always.L2(0).Stats.Accesses.Value())
 		w := stats.Pct(float64(sys.L2MetaAccesses), l2acc)

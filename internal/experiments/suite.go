@@ -19,10 +19,10 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"strings"
 	"sync"
 
 	"repro/internal/hier"
+	"repro/internal/spec"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -114,11 +114,6 @@ func (s *Suite) printf(format string, args ...any) {
 	fmt.Fprintf(s.opts.Out, format, args...)
 }
 
-// runKey identifies a memoized simulation.
-func runKey(wl string, p hier.PolicyKind, variant string) string {
-	return fmt.Sprintf("%s/%s/%s", wl, p, variant)
-}
-
 // entry returns the memo slot for key, creating it under the lock.
 func (s *Suite) entry(key string) *runEntry {
 	s.mu.Lock()
@@ -131,16 +126,40 @@ func (s *Suite) entry(key string) *runEntry {
 	return e
 }
 
-// mustSpec resolves a workload name or panics with the valid set — the
-// misuse (a typo in a benchmark list) is a programming error, and listing
-// the alternatives makes it self-diagnosing.
-func mustSpec(wl string) workloads.Spec {
-	spec, ok := workloads.ByName(wl)
-	if !ok {
-		panic(fmt.Sprintf("experiments: unknown workload %q (valid workloads: %s)",
-			wl, strings.Join(workloads.Names(), ", ")))
+// ResolveSpec stamps the suite's sizing (accesses, warmup, seed) into any
+// unset fields of sp and canonicalizes it. The result is the run's full
+// identity: hashing it yields the memo key the suite will use.
+func (s *Suite) ResolveSpec(sp RunSpec) (spec.Spec, error) {
+	if sp.Accesses == 0 {
+		sp.Accesses = s.opts.Accesses
 	}
-	return spec
+	if sp.Warmup == nil {
+		w := s.opts.Warmup
+		sp.Warmup = &w
+	}
+	if sp.Seed == 0 {
+		sp.Seed = s.opts.Seed
+	}
+	return sp.Canonical()
+}
+
+// mustResolve is ResolveSpec for specs built by trusted callers: an invalid
+// spec (a typo in a benchmark list) is a programming error, so it panics
+// with the validation message, which names the valid alternatives.
+func (s *Suite) mustResolve(sp RunSpec) spec.Spec {
+	c, err := s.ResolveSpec(sp)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return c
+}
+
+// KeyFor reports the memo key sp occupies in this suite: the canonical
+// content hash of the spec with the suite's sizing stamped in. External
+// result caches (the slipd LRU store) key on the same hashes, so the
+// format is part of the spec package's contract, not this one's.
+func (s *Suite) KeyFor(sp RunSpec) string {
+	return s.mustResolve(sp).MustHash()
 }
 
 // getOrRun returns the memoized system for key, simulating via sim when
@@ -199,69 +218,61 @@ func (s *Suite) progressFor(key string, base uint64) func(uint64) {
 // Run returns the memoized single-core system for a workload and policy
 // under the default configuration.
 func (s *Suite) Run(wl string, p hier.PolicyKind) *hier.System {
-	return s.RunWith(wl, p, "", s.mkDefault(p))
+	return s.RunS(spec.Single(wl, p))
 }
 
-// RunWith memoizes a single-core run under a custom configuration; variant
-// distinguishes configurations of the same workload/policy pair. Unknown
-// workloads panic before the memo slot is claimed, so a bad request never
-// poisons the cache for a later correct one.
-func (s *Suite) RunWith(wl string, p hier.PolicyKind, variant string, mk func() hier.Config) *hier.System {
-	sys, _ := s.RunWithContext(context.Background(), wl, p, variant, mk)
-	return sys
-}
-
-// RunWithContext is RunWith under a context: a cancelled ctx stops the
-// simulation within a few thousand accesses and returns ctx.Err(), leaving
-// the memo slot untouched. An uncancelled run is bit-identical to RunWith.
-func (s *Suite) RunWithContext(ctx context.Context, wl string, p hier.PolicyKind, variant string, mk func() hier.Config) (*hier.System, error) {
-	spec := mustSpec(wl)
-	key := runKey(wl, p, variant)
-	return s.getOrRun(ctx, key, func(ctx context.Context) (*hier.System, error) {
-		sys := hier.New(mk())
-		src := spec.Build(s.opts.Seed)
-		if s.opts.Warmup > 0 {
-			if err := sys.RunContext(ctx, s.progressFor(key, 0), trace.Limit(src, s.opts.Warmup)); err != nil {
-				return nil, err
-			}
-			sys.ResetStats()
-		}
-		if err := sys.RunContext(ctx, s.progressFor(key, s.opts.Warmup), trace.Limit(src, s.opts.Accesses)); err != nil {
-			return nil, err
-		}
-		return sys, nil
-	})
-}
-
-// RunMix returns the memoized two-core system for a Figure 16 mix. Mix runs
-// live in their own key namespace ("mix:...") so a mix label can never
-// collide with a single-core workload/variant key. Core B's trace is seeded
-// with Seed+1 so the two cores draw independent streams.
+// RunMix returns the memoized two-core system for a Figure 16 mix. Core
+// B's trace is seeded with Seed+1 so the two cores draw independent
+// streams; mix specs canonicalize distinctly from every single-core spec,
+// so their memo keys can never collide.
 func (s *Suite) RunMix(m workloads.Mix, p hier.PolicyKind) *hier.System {
-	sys, _ := s.RunMixContext(context.Background(), m, p)
+	return s.RunS(spec.ForMix(m.A, m.B, p))
+}
+
+// RunS returns the memoized system for a declarative spec. Invalid specs
+// panic before the memo slot is claimed, so a bad request never poisons
+// the cache for a later correct one.
+func (s *Suite) RunS(sp RunSpec) *hier.System {
+	sys, _ := s.RunSpecContext(context.Background(), sp)
 	return sys
 }
 
-// RunMixContext is RunMix under a context, with the same cancellation
-// contract as RunWithContext.
-func (s *Suite) RunMixContext(ctx context.Context, m workloads.Mix, p hier.PolicyKind) (*hier.System, error) {
-	a := mustSpec(m.A)
-	b := mustSpec(m.B)
-	key := runKey("mix:"+m.Name(), p, "")
-	return s.getOrRun(ctx, key, func(ctx context.Context) (*hier.System, error) {
-		sys := hier.New(hier.Config{Policy: p, NumCores: 2, Seed: s.opts.Seed})
-		sa, sb := a.Build(s.opts.Seed), b.Build(s.opts.Seed+1)
-		if s.opts.Warmup > 0 {
-			if err := sys.RunContext(ctx, s.progressFor(key, 0), trace.Limit(sa, s.opts.Warmup), trace.Limit(sb, s.opts.Warmup)); err != nil {
-				return nil, err
-			}
-			sys.ResetStats()
+// simulate drives one canonical spec: per-core trace sources (core 0 runs
+// the workload with the spec seed, core i runs MixWith — or the workload
+// again — with seed+i), warmup, statistics reset, then the measured
+// window. For mixes, statistics are collected only while both benchmarks
+// execute, as in the paper's overlap-window methodology.
+func (s *Suite) simulate(ctx context.Context, key string, c spec.Spec) (*hier.System, error) {
+	cfg, err := c.Build()
+	if err != nil {
+		return nil, err // unreachable: c is canonical
+	}
+	sys := hier.New(cfg)
+	srcs := make([]trace.Source, cfg.NumCores)
+	for i := range srcs {
+		name := c.Workload
+		if i > 0 && c.MixWith != "" {
+			name = c.MixWith
 		}
-		// Statistics are collected only while both benchmarks execute, as in
-		// the paper's overlap-window methodology.
-		if err := sys.RunContext(ctx, s.progressFor(key, 2*s.opts.Warmup), trace.Limit(sa, s.opts.Accesses), trace.Limit(sb, s.opts.Accesses)); err != nil {
+		wl, _ := workloads.ByName(name) // canonical specs name valid workloads
+		srcs[i] = wl.Build(c.Seed + uint64(i))
+	}
+	limit := func(n uint64) []trace.Source {
+		out := make([]trace.Source, len(srcs))
+		for i, src := range srcs {
+			out[i] = trace.Limit(src, n)
+		}
+		return out
+	}
+	warm := *c.Warmup
+	if warm > 0 {
+		if err := sys.RunContext(ctx, s.progressFor(key, 0), limit(warm)...); err != nil {
 			return nil, err
 		}
-		return sys, nil
-	})
+		sys.ResetStats()
+	}
+	if err := sys.RunContext(ctx, s.progressFor(key, uint64(len(srcs))*warm), limit(c.Accesses)...); err != nil {
+		return nil, err
+	}
+	return sys, nil
 }

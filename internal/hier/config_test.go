@@ -1,0 +1,160 @@
+package hier
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/mem"
+)
+
+// TestParsePolicyRoundTrip: ParsePolicy must invert String for every
+// PolicyKind, and accept the documented aliases.
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []PolicyKind{Baseline, SLIP, SLIPABP, NuRAPID, LRUPEA} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", p.String(), err)
+			continue
+		}
+		if got != p {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	for alias, want := range map[string]PolicyKind{
+		"slip-abp": SLIPABP, "slipabp": SLIPABP, "lrupea": LRUPEA,
+	} {
+		if got, err := ParsePolicy(alias); err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = (%v, %v), want %v", alias, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("nonesuch"); err == nil || !strings.Contains(err.Error(), "slip+abp") {
+		t.Errorf("ParsePolicy(nonesuch) = %v, want an error naming the valid set", err)
+	}
+}
+
+// TestPolicyNamesParse: every canonical name must parse back to a distinct
+// kind (guards PolicyNames against drifting from the parser).
+func TestPolicyNamesParse(t *testing.T) {
+	seen := map[PolicyKind]bool{}
+	for _, n := range PolicyNames() {
+		p, err := ParsePolicy(n)
+		if err != nil {
+			t.Errorf("PolicyNames entry %q does not parse: %v", n, err)
+		}
+		if seen[p] {
+			t.Errorf("PolicyNames entry %q duplicates kind %v", n, p)
+		}
+		seen[p] = true
+	}
+}
+
+// TestFillDefaults covers every branch of Config.fillDefaults, including
+// the partial-DRAM footgun: a caller-supplied PJPerBit must survive
+// defaulting instead of being clobbered by the full 45nm model.
+func TestFillDefaults(t *testing.T) {
+	warm := energy.DRAM45()
+	cases := []struct {
+		name  string
+		in    Config
+		check func(t *testing.T, c Config)
+	}{
+		{
+			name: "zero value gets the paper configuration",
+			in:   Config{},
+			check: func(t *testing.T, c Config) {
+				if c.NumCores != 1 {
+					t.Errorf("NumCores = %d, want 1", c.NumCores)
+				}
+				if c.L2Params == nil || c.L2Params.Name != "L2" {
+					t.Errorf("L2Params = %+v, want the 45nm preset", c.L2Params)
+				}
+				if c.L3Params == nil || c.L3Params.Name != "L3" {
+					t.Errorf("L3Params = %+v, want the 45nm preset", c.L3Params)
+				}
+				if c.L2Bytes != 256*mem.KB || c.L3Bytes != 2*mem.MB {
+					t.Errorf("sizes = %d/%d, want 256KB/2MB", c.L2Bytes, c.L3Bytes)
+				}
+				if c.DRAM != warm {
+					t.Errorf("DRAM = %+v, want %+v", c.DRAM, warm)
+				}
+				if c.Core.PJPerInstr == 0 {
+					t.Error("Core not defaulted")
+				}
+			},
+		},
+		{
+			name: "negative cores clamp to one",
+			in:   Config{NumCores: -3},
+			check: func(t *testing.T, c Config) {
+				if c.NumCores != 1 {
+					t.Errorf("NumCores = %d, want 1", c.NumCores)
+				}
+			},
+		},
+		{
+			name: "explicit sizes survive",
+			in:   Config{L2Bytes: 512 * mem.KB, L3Bytes: 4 * mem.MB},
+			check: func(t *testing.T, c Config) {
+				if c.L2Bytes != 512*mem.KB || c.L3Bytes != 4*mem.MB {
+					t.Errorf("sizes = %d/%d clobbered", c.L2Bytes, c.L3Bytes)
+				}
+			},
+		},
+		{
+			name: "explicit level params survive",
+			in:   Config{L2Params: energy.L2Params45(), L3Params: energy.L3Params45()},
+			check: func(t *testing.T, c Config) {
+				if c.L2Params.Name != "L2" || c.L3Params.Name != "L3" {
+					t.Errorf("params clobbered: %s/%s", c.L2Params.Name, c.L3Params.Name)
+				}
+			},
+		},
+		{
+			name: "fully-specified DRAM survives",
+			in:   Config{DRAM: energy.DRAMParams{LatencyCycles: 80, PJPerBit: 11}},
+			check: func(t *testing.T, c Config) {
+				if c.DRAM.LatencyCycles != 80 || c.DRAM.PJPerBit != 11 {
+					t.Errorf("DRAM = %+v clobbered", c.DRAM)
+				}
+			},
+		},
+		{
+			name: "partial DRAM keeps its energy model (the footgun)",
+			in:   Config{DRAM: energy.DRAMParams{PJPerBit: 11}},
+			check: func(t *testing.T, c Config) {
+				if c.DRAM.PJPerBit != 11 {
+					t.Errorf("PJPerBit = %v, caller's value clobbered by the 45nm default", c.DRAM.PJPerBit)
+				}
+				if c.DRAM.LatencyCycles != warm.LatencyCycles {
+					t.Errorf("LatencyCycles = %d, want default %d", c.DRAM.LatencyCycles, warm.LatencyCycles)
+				}
+			},
+		},
+		{
+			name: "latency-only DRAM is untouched",
+			in:   Config{DRAM: energy.DRAMParams{LatencyCycles: 80}},
+			check: func(t *testing.T, c Config) {
+				if c.DRAM.LatencyCycles != 80 || c.DRAM.PJPerBit != 0 {
+					t.Errorf("DRAM = %+v, want latency 80 kept as given", c.DRAM)
+				}
+			},
+		},
+		{
+			name: "explicit core survives",
+			in:   Config{Core: energy.CoreParams{PJPerInstr: 99, L1Bytes: 32 * mem.KB, L1Ways: 8, L1LatencyCyc: 4, ClockGHz: 2}},
+			check: func(t *testing.T, c Config) {
+				if c.Core.PJPerInstr != 99 {
+					t.Errorf("Core.PJPerInstr = %v clobbered", c.Core.PJPerInstr)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.in
+			c.fillDefaults()
+			tc.check(t, c)
+		})
+	}
+}

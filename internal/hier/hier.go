@@ -8,6 +8,7 @@ package hier
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	slipcore "repro/internal/core"
@@ -51,6 +52,32 @@ func (p PolicyKind) String() string {
 // IsSLIP reports whether the policy uses the SLIP machinery (MMU sampling,
 // EOU, PTE codes).
 func (p PolicyKind) IsSLIP() bool { return p == SLIP || p == SLIPABP }
+
+// PolicyNames lists the canonical policy names in declaration order.
+func PolicyNames() []string {
+	return []string{"baseline", "slip", "slip+abp", "nurapid", "lru-pea"}
+}
+
+// ParsePolicy is the inverse of PolicyKind.String. It also accepts the
+// historical aliases ("slip-abp"/"slipabp" for slip+abp, "lrupea" for
+// lru-pea) and is the single parser shared by CLI flags, spec files and the
+// slipd wire format.
+func ParsePolicy(name string) (PolicyKind, error) {
+	switch name {
+	case "baseline":
+		return Baseline, nil
+	case "slip":
+		return SLIP, nil
+	case "slip+abp", "slip-abp", "slipabp":
+		return SLIPABP, nil
+	case "nurapid":
+		return NuRAPID, nil
+	case "lru-pea", "lrupea":
+		return LRUPEA, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (valid: %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+}
 
 // Config describes a system to simulate. Zero-value fields default to the
 // paper's Table 1/2 configuration.
@@ -97,8 +124,13 @@ func (c *Config) fillDefaults() {
 	if c.L3Bytes == 0 {
 		c.L3Bytes = 2 * mem.MB
 	}
-	if c.DRAM.LatencyCycles == 0 {
+	if c.DRAM == (energy.DRAMParams{}) {
 		c.DRAM = energy.DRAM45()
+	} else if c.DRAM.LatencyCycles == 0 {
+		// A partially-specified DRAM keeps its energy model and inherits
+		// only the default latency; clobbering the whole struct (the old
+		// behavior) silently discarded the caller's PJPerBit.
+		c.DRAM.LatencyCycles = energy.DRAM45().LatencyCycles
 	}
 	if c.Core.PJPerInstr == 0 {
 		c.Core = energy.DefaultCore()

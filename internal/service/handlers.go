@@ -59,7 +59,7 @@ func (s *Server) handlePostRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.normalize(s.cfg)
-	_, key, err := specOf(&req)
+	c, key, err := specOf(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -81,7 +81,7 @@ func (s *Server) handlePostRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.CacheMiss()
 
-	j, err := s.submit(req, key)
+	j, err := s.submit(req, c, key)
 	switch {
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, "server is draining")

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/spec"
 )
 
 // Config sizes the daemon. Zero values take the documented defaults.
@@ -201,7 +202,7 @@ func newJobID() string {
 var errQueueFull = errors.New("queue full")
 var errDraining = errors.New("server draining")
 
-func (s *Server) submit(req RunRequest, key string) (*Job, error) {
+func (s *Server) submit(req RunRequest, c spec.Spec, key string) (*Job, error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
@@ -210,17 +211,14 @@ func (s *Server) submit(req RunRequest, key string) (*Job, error) {
 		s.mu.Unlock()
 		return j, nil
 	}
-	sources := uint64(1)
-	if req.MixWith != "" {
-		sources = 2
-	}
 	j := &Job{
 		ID:      newJobID(),
 		Key:     key,
 		Req:     req,
+		Spec:    c,
 		State:   StateQueued,
 		Created: time.Now(),
-		Total:   sources * (*req.Warmup + req.Accesses),
+		Total:   uint64(c.Cores) * (*c.Warmup + c.Accesses),
 	}
 	s.jobs[j.ID] = j
 	s.pending[key] = j
@@ -300,10 +298,10 @@ func (s *Server) runJob(j *Job) {
 
 	var lastReported uint64
 	suite := experiments.NewSuite(experiments.Options{
-		Accesses:    j.Req.Accesses,
-		Warmup:      *j.Req.Warmup,
+		Accesses:    j.Spec.Accesses,
+		Warmup:      *j.Spec.Warmup,
 		WarmupSet:   true,
-		Seed:        j.Req.Seed,
+		Seed:        j.Spec.Seed,
 		Parallelism: 1,
 		Progress: func(_ string, done uint64) {
 			j.progress.Store(done)
@@ -314,18 +312,13 @@ func (s *Server) runJob(j *Job) {
 		},
 	})
 
-	sp, _, err := specOf(&j.Req)
-	if err != nil {
-		// Unreachable: requests are validated at admission.
-		s.finishJob(j, nil, err)
-		return
-	}
-	sys, err := suite.RunSpecContext(ctx, sp)
+	// j.Spec is canonical, so the suite memoizes it under exactly j.Key.
+	sys, err := suite.RunSpecContext(ctx, j.Spec)
 	if err != nil {
 		s.finishJob(j, nil, err)
 		return
 	}
-	s.finishJob(j, resultFrom(sys, &j.Req, time.Since(j.Started)), nil)
+	s.finishJob(j, resultFrom(sys, j.Spec, time.Since(j.Started)), nil)
 }
 
 // finishJob records a terminal state, publishes the result, and updates

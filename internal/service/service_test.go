@@ -3,6 +3,8 @@ package service
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/spec"
 )
 
 // TestQueueBackpressure: admission must refuse, never block, past depth.
@@ -86,7 +88,7 @@ func TestStorePutRefreshesExisting(t *testing.T) {
 // occupy different store keys; equal effective requests must collide.
 func TestSpecKeyFingerprintsSizing(t *testing.T) {
 	mk := func(acc, seed uint64) *RunRequest {
-		r := &RunRequest{Workload: "milc", Policy: "baseline", Accesses: acc, Seed: seed}
+		r := &RunRequest{Spec: spec.Spec{Workload: "milc", Policy: "baseline", Accesses: acc, Seed: seed}}
 		r.normalize(Config{DefaultAccesses: 1000, DefaultSeed: 42})
 		return r
 	}
@@ -105,15 +107,19 @@ func TestSpecKeyFingerprintsSizing(t *testing.T) {
 	}
 }
 
-// TestSpecOfRejectsBadRequests covers each validation branch.
+// TestSpecOfRejectsBadRequests covers the validation branches reachable
+// over the wire.
 func TestSpecOfRejectsBadRequests(t *testing.T) {
-	cases := []RunRequest{
+	cases := []spec.Spec{
 		{Workload: "nonesuch", Policy: "baseline"},
 		{Workload: "milc", Policy: "nonesuch"},
 		{Workload: "milc", Policy: "baseline", MixWith: "nonesuch"},
-		{Workload: "milc", Policy: "slip+abp", MixWith: "sphinx3", BinBits: 3},
+		{Workload: "milc", Policy: "slip", BinBits: 12},
+		{Workload: "milc", Policy: "baseline", Tech: "7nm"},
+		{Workload: "milc", Policy: "baseline", DRAM: &spec.DRAMSpec{PJPerBit: 11}},
 	}
-	for i, r := range cases {
+	for i, c := range cases {
+		r := RunRequest{Spec: c}
 		r.normalize(Config{DefaultAccesses: 1000, DefaultSeed: 42})
 		if _, _, err := specOf(&r); err == nil {
 			t.Errorf("case %d (%+v): no error", i, r)
@@ -121,23 +127,62 @@ func TestSpecOfRejectsBadRequests(t *testing.T) {
 	}
 }
 
-// TestVariantKeying: config knobs must land in the memo key.
-func TestVariantKeying(t *testing.T) {
-	r := &RunRequest{Workload: "milc", Policy: "slip+abp", BinBits: 3, UseRRIP: true}
-	r.normalize(Config{DefaultAccesses: 1000, DefaultSeed: 42})
-	sp, key, err := specOf(r)
+// TestSpecOfCanonicalizesAliases: the store key must be alias-blind — a
+// request spelled with a policy alias or explicit defaults lands on the
+// same hash as its canonical spelling.
+func TestSpecOfCanonicalizesAliases(t *testing.T) {
+	cfg := Config{DefaultAccesses: 1000, DefaultSeed: 42}
+	a := RunRequest{Spec: spec.Spec{Workload: "milc", Policy: "slip-abp", BinBits: 3, UseRRIP: true}}
+	b := RunRequest{Spec: spec.Spec{Workload: "milc", Policy: "slip+abp", BinBits: 3, UseRRIP: true, Cores: 1}}
+	a.normalize(cfg)
+	b.normalize(cfg)
+	ca, ka, err := specOf(&a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := "bits3+rrip"
-	if sp.Variant != want {
-		t.Errorf("variant %q, want %q", sp.Variant, want)
+	cb, kb, err := specOf(&b)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(key, want) {
-		t.Errorf("key %q does not encode variant %q", key, want)
+	if ka != kb {
+		t.Errorf("alias spelling split the key space: %q vs %q", ka, kb)
 	}
-	cfg := sp.Mk()
-	if cfg.BinBits != 3 || !cfg.UseRRIP || cfg.DisableSampling {
-		t.Errorf("Mk config %+v does not reflect the request", cfg)
+	if ca.Policy != "slip+abp" || cb.Policy != "slip+abp" {
+		t.Errorf("canonical policy = %q/%q, want slip+abp", ca.Policy, cb.Policy)
+	}
+	if !strings.HasPrefix(ka, "s1:") {
+		t.Errorf("key %q is not a spec hash", ka)
+	}
+	if v := ca.Variant(); v != "bits3+rrip" {
+		t.Errorf("variant %q, want bits3+rrip", v)
+	}
+	cfgOut, err := ca.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgOut.BinBits != 3 || !cfgOut.UseRRIP || cfgOut.DisableSampling {
+		t.Errorf("built config %+v does not reflect the request", cfgOut)
+	}
+}
+
+// TestMixRequestWithKnobs: config knobs now compose with mix runs (the
+// generalized engine simulates any spec), and the mix key differs from the
+// single-core keys.
+func TestMixRequestWithKnobs(t *testing.T) {
+	cfg := Config{DefaultAccesses: 1000, DefaultSeed: 42}
+	r := RunRequest{Spec: spec.Spec{Workload: "milc", MixWith: "sphinx3", Policy: "slip+abp", BinBits: 3}}
+	r.normalize(cfg)
+	c, key, err := specOf(&r)
+	if err != nil {
+		t.Fatalf("mix with knobs rejected: %v", err)
+	}
+	if c.Cores != 2 {
+		t.Errorf("canonical cores = %d, want 2", c.Cores)
+	}
+	single := RunRequest{Spec: spec.Spec{Workload: "milc", Policy: "slip+abp", BinBits: 3}}
+	single.normalize(cfg)
+	_, ks, _ := specOf(&single)
+	if key == ks {
+		t.Errorf("mix and single-core requests share key %q", key)
 	}
 }

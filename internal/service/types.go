@@ -1,57 +1,41 @@
 // Package service implements slipd, the simulation-as-a-service daemon:
 // an HTTP/JSON front end over the experiments engine with a bounded job
 // queue (backpressure via 429), a worker pool, an LRU result store keyed
-// by the experiments memo keys, per-job deadlines and cancellation, and
+// by the canonical spec hashes, per-job deadlines and cancellation, and
 // Prometheus-text metrics. See cmd/slipd for the binary.
 package service
 
 import (
-	"fmt"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/experiments"
 	"repro/internal/hier"
-	"repro/internal/workloads"
+	"repro/internal/spec"
 )
 
-// RunRequest is the POST /v1/runs body: one workload x policy x config
-// simulation. Zero-valued sizing fields inherit the server defaults.
+// RunRequest is the POST /v1/runs body: one declarative simulation spec
+// (see internal/spec — the same JSON shape slipsim -spec consumes) plus
+// service-level options. Zero-valued sizing fields inherit the server
+// defaults.
 type RunRequest struct {
-	// Workload names a benchmark (see GET /v1/workloads via slipbench
-	// -list); required.
-	Workload string `json:"workload"`
-	// Policy is one of baseline, slip, slip+abp (alias slip-abp),
-	// nurapid, lru-pea; required.
-	Policy string `json:"policy"`
-	// MixWith, when set, runs a two-core multiprogrammed mix of Workload
-	// and MixWith (the Figure 16 setup).
-	MixWith string `json:"mix_with,omitempty"`
-
-	// Accesses is the measured trace length; Warmup the accesses replayed
-	// before statistics reset (nil = same as Accesses); Seed drives all
-	// randomness. Defaults come from the slipd flags.
-	Accesses uint64  `json:"accesses,omitempty"`
-	Warmup   *uint64 `json:"warmup,omitempty"`
-	Seed     uint64  `json:"seed,omitempty"`
-
-	// Config knobs mirroring the experiment variants.
-	BinBits         uint8 `json:"bin_bits,omitempty"`
-	DisableSampling bool  `json:"disable_sampling,omitempty"`
-	UseRRIP         bool  `json:"use_rrip,omitempty"`
+	spec.Spec
 
 	// TimeoutMS overrides the server's per-job deadline (capped by it).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// normalize applies server defaults; call before spec/key derivation so
-// equal effective requests share one result-store key.
+// normalize stamps server defaults into unset sizing fields; call before
+// spec/key derivation so equal effective requests share one result-store
+// key.
 func (r *RunRequest) normalize(cfg Config) {
 	if r.Accesses == 0 {
 		r.Accesses = cfg.DefaultAccesses
 	}
 	if r.Warmup == nil {
 		w := r.Accesses
+		if cfg.DefaultWarmup != nil {
+			w = *cfg.DefaultWarmup
+		}
 		r.Warmup = &w
 	}
 	if r.Seed == 0 {
@@ -59,81 +43,21 @@ func (r *RunRequest) normalize(cfg Config) {
 	}
 }
 
-// parsePolicy maps the wire name to a PolicyKind.
-func parsePolicy(name string) (hier.PolicyKind, error) {
-	switch name {
-	case "baseline":
-		return hier.Baseline, nil
-	case "slip":
-		return hier.SLIP, nil
-	case "slip+abp", "slip-abp":
-		return hier.SLIPABP, nil
-	case "nurapid":
-		return hier.NuRAPID, nil
-	case "lru-pea":
-		return hier.LRUPEA, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q (valid: baseline, slip, slip+abp, nurapid, lru-pea)", name)
-	}
-}
-
-// variantOf names the non-default config knobs, mirroring the experiment
-// variant strings so memo keys stay collision-free per configuration.
-func variantOf(r *RunRequest) string {
-	v := ""
-	if r.BinBits != 0 {
-		v += fmt.Sprintf("bits%d", r.BinBits)
-	}
-	if r.DisableSampling {
-		v += "+nosample"
-	}
-	if r.UseRRIP {
-		v += "+rrip"
-	}
-	return v
-}
-
-// specOf compiles a normalized, policy-parsed request into the engine's
-// RunSpec plus the full result-store key: the experiments memo key prefixed
-// with the sizing fingerprint, so runs differing only in accesses, warmup
-// or seed never collide.
-func specOf(r *RunRequest) (experiments.RunSpec, string, error) {
-	p, err := parsePolicy(r.Policy)
+// specOf canonicalizes a normalized request into the run's full identity:
+// the canonical spec the job will simulate and its content hash — the
+// result-store key, identical to the experiments memo key for the same
+// run, so every layer of the stack addresses one simulation one way.
+func specOf(r *RunRequest) (spec.Spec, string, error) {
+	c, err := r.Spec.Canonical()
 	if err != nil {
-		return experiments.RunSpec{}, "", err
+		return spec.Spec{}, "", err
 	}
-	if _, ok := workloads.ByName(r.Workload); !ok {
-		return experiments.RunSpec{}, "", fmt.Errorf("unknown workload %q", r.Workload)
-	}
-	var sp experiments.RunSpec
-	if r.MixWith != "" {
-		if _, ok := workloads.ByName(r.MixWith); !ok {
-			return experiments.RunSpec{}, "", fmt.Errorf("unknown workload %q", r.MixWith)
-		}
-		if variantOf(r) != "" {
-			return experiments.RunSpec{}, "", fmt.Errorf("config knobs (bin_bits, disable_sampling, use_rrip) are not supported for mix runs")
-		}
-		sp = experiments.RunSpec{Policy: p, Mix: &workloads.Mix{A: r.Workload, B: r.MixWith}}
-	} else if v := variantOf(r); v != "" {
-		req := *r // capture by value: the closure must not see later mutation
-		sp = experiments.RunSpec{Workload: r.Workload, Policy: p, Variant: v, Mk: func() hier.Config {
-			return hier.Config{
-				Policy:          p,
-				Seed:            req.Seed,
-				BinBits:         req.BinBits,
-				DisableSampling: req.DisableSampling,
-				UseRRIP:         req.UseRRIP,
-			}
-		}}
-	} else {
-		sp = experiments.RunSpec{Workload: r.Workload, Policy: p}
-	}
-	key := fmt.Sprintf("acc=%d,warm=%d,seed=%d|%s", r.Accesses, *r.Warmup, r.Seed, sp.Key())
-	return sp, key, nil
+	return c, c.MustHash(), nil
 }
 
 // RunResult is the flattened metrics of one finished simulation — the same
-// quantities the paper's figures report.
+// quantities the paper's figures report — plus the canonical spec that
+// produced them, so a stored result is reproducible from its own body.
 type RunResult struct {
 	Workload string `json:"workload"`
 	Policy   string `json:"policy"`
@@ -165,6 +89,8 @@ type RunResult struct {
 	IPC    float64 `json:"ipc"`
 
 	SimSeconds float64 `json:"sim_seconds"`
+
+	Spec spec.Spec `json:"spec"`
 }
 
 // hitRate guards the zero-access division.
@@ -175,8 +101,9 @@ func hitRate(hits, accesses uint64) float64 {
 	return float64(hits) / float64(accesses)
 }
 
-// resultFrom flattens a finished system into the wire result.
-func resultFrom(sys *hier.System, r *RunRequest, elapsed time.Duration) *RunResult {
+// resultFrom flattens a finished system into the wire result. c must be
+// the job's canonical spec.
+func resultFrom(sys *hier.System, c spec.Spec, elapsed time.Duration) *RunResult {
 	cores := sys.Config().NumCores
 	var l1Hits, l1Acc, l2Hits, l2Acc uint64
 	for i := 0; i < cores; i++ {
@@ -186,13 +113,13 @@ func resultFrom(sys *hier.System, r *RunRequest, elapsed time.Duration) *RunResu
 		l2Acc += sys.L2(i).Stats.Accesses.Value()
 	}
 	res := &RunResult{
-		Workload: r.Workload,
-		Policy:   r.Policy,
-		MixWith:  r.MixWith,
-		Variant:  variantOf(r),
-		Accesses: r.Accesses,
-		Warmup:   *r.Warmup,
-		Seed:     r.Seed,
+		Workload: c.Workload,
+		Policy:   c.Policy,
+		MixWith:  c.MixWith,
+		Variant:  c.Variant(),
+		Accesses: c.Accesses,
+		Warmup:   *c.Warmup,
+		Seed:     c.Seed,
 
 		L1HitRate: hitRate(l1Hits, l1Acc),
 		L2HitRate: hitRate(l2Hits, l2Acc),
@@ -215,6 +142,8 @@ func resultFrom(sys *hier.System, r *RunRequest, elapsed time.Duration) *RunResu
 		Cycles: sys.MaxCycles(),
 
 		SimSeconds: elapsed.Seconds(),
+
+		Spec: c,
 	}
 	if res.Cycles > 0 {
 		res.IPC = float64(res.Instrs) / res.Cycles
@@ -238,9 +167,10 @@ const (
 // server's mutex; progress is atomic so the simulating worker can update
 // it without locking.
 type Job struct {
-	ID  string
-	Key string
-	Req RunRequest
+	ID   string
+	Key  string
+	Req  RunRequest
+	Spec spec.Spec // the canonical spec; Key is its hash
 
 	State    JobState
 	Result   *RunResult
@@ -249,7 +179,7 @@ type Job struct {
 	Started  time.Time
 	Finished time.Time
 
-	// Total is the expected access count (warmup + measured, per source);
+	// Total is the expected access count (warmup + measured, per core);
 	// progress counts accesses already driven.
 	Total    uint64
 	progress atomic.Uint64

@@ -51,6 +51,36 @@ curl -fsS "$BASE/metrics" | grep -q '^slipd_result_cache_hits_total 1$' || {
 }
 echo "result store hit confirmed via /metrics"
 
+# A full declarative spec — every field of the canonical run description,
+# including a policy alias, knobs and an explicit DRAM block — must decode,
+# canonicalize and simulate. The daemon's wire format IS the spec format.
+FULL='{"policy":"slip-abp","workload":"milc","mix_with":"sphinx3","cores":2,
+  "accesses":20000,"warmup":10000,"seed":9,"bin_bits":3,"use_rrip":true,
+  "tech":"22nm","topology":"way-interleaved",
+  "l2_bytes":262144,"l3_bytes":2097152,
+  "dram":{"latency_cycles":100,"pj_per_bit":12},"timeout_ms":60000}'
+FID=$(curl -fsS -X POST -d "$FULL" "$BASE/v1/runs" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$FID" ] || { echo "full-spec POST returned no job id"; exit 1; }
+FBODY=""
+for _ in $(seq 1 300); do
+  FBODY=$(curl -fsS "$BASE/v1/runs/$FID")
+  case "$FBODY" in
+    *'"state":"completed"'*) break ;;
+    *'"state":"failed"'* | *'"state":"cancelled"'*) echo "full-spec job did not complete: $FBODY"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+echo "$FBODY" | grep -q '"state":"completed"' || { echo "full-spec job timed out: $FBODY"; exit 1; }
+# The result must echo the canonical spec: alias collapsed, both cores run.
+echo "$FBODY" | grep -q '"policy":"slip+abp"' || { echo "policy alias not canonicalized: $FBODY"; exit 1; }
+echo "$FBODY" | grep -q '"spec":{' || { echo "result carries no spec: $FBODY"; exit 1; }
+echo "full-spec run completed with canonical result"
+
+# A misspelled field must be rejected, not silently ignored.
+curl -fsS -X POST -d '{"workload":"milc","policy":"slip","acesses":5}' "$BASE/v1/runs" \
+  >/dev/null 2>&1 && { echo "typo field accepted"; exit 1; }
+echo "unknown-field rejection confirmed"
+
 # SIGTERM must drain cleanly (exit 0).
 kill -TERM "$PID"
 wait "$PID"
