@@ -33,10 +33,74 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	spec, _ := workloads.ByName("soplex")
 	sys := hier.New(hier.Config{Policy: hier.SLIPABP, Seed: 1})
 	src := spec.Build(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a, _ := src.Next()
+		a, ok := src.Next()
+		if !ok { // workload generators are unbounded, but stay honest
+			src = spec.Build(1)
+			a, _ = src.Next()
+		}
 		sys.Access(0, a)
+	}
+}
+
+// BenchmarkBatchedThroughput is BenchmarkSimulatorThroughput through the
+// batched delivery path hier.System.Run uses: accesses arrive in
+// NextBatch-sized chunks instead of one Next call each.
+func BenchmarkBatchedThroughput(b *testing.B) {
+	spec, _ := workloads.ByName("soplex")
+	sys := hier.New(hier.Config{Policy: hier.SLIPABP, Seed: 1})
+	src := spec.Build(1)
+	batch := make([]trace.Access, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		want := b.N - done
+		if want > len(batch) {
+			want = len(batch)
+		}
+		k := trace.FillBatch(src, batch[:want])
+		if k == 0 {
+			src = spec.Build(1)
+			continue
+		}
+		for i := 0; i < k; i++ {
+			sys.Access(0, batch[i])
+		}
+		done += k
+	}
+}
+
+// BenchmarkTraceReplay measures decoding the materialized trace encoding —
+// the per-access cost a cache-served run pays instead of generation.
+func BenchmarkTraceReplay(b *testing.B) {
+	spec, _ := workloads.ByName("soplex")
+	buf := trace.Record(spec.Build(1), 1_000_000)
+	b.SetBytes(int64(buf.Size()) / int64(buf.Len()))
+	batch := make([]trace.Access, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := buf.Replay()
+	for done := 0; done < b.N; {
+		k := r.NextBatch(batch)
+		if k == 0 {
+			r = buf.Replay()
+			continue
+		}
+		done += k
+	}
+}
+
+// BenchmarkTraceRecord measures materializing a workload trace — the
+// one-time cost a cache miss adds on top of generation.
+func BenchmarkTraceRecord(b *testing.B) {
+	spec, _ := workloads.ByName("soplex")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Record(spec.Build(1), 200_000)
 	}
 }
 
@@ -56,6 +120,7 @@ func suiteMatrix(parallelism int) {
 // sub-benchmark (workers=1) is the baseline for the speedup figure
 // cmd/suitebench reports.
 func BenchmarkSuiteParallel(b *testing.B) {
+	b.ReportAllocs()
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -68,6 +133,7 @@ func BenchmarkSuiteParallel(b *testing.B) {
 // BenchmarkEOUOptimize measures one Energy Optimizer Unit operation
 // (compare with the 1.27 pJ / 2-cycle hardware unit of Section 5).
 func BenchmarkEOUOptimize(b *testing.B) {
+	b.ReportAllocs()
 	eou, err := core.NewEOU(core.LevelGeom{
 		SublevelWays:  []int{4, 4, 8},
 		SublevelLines: []uint64{1024, 1024, 2048},
@@ -86,6 +152,7 @@ func BenchmarkEOUOptimize(b *testing.B) {
 
 // BenchmarkFig1 regenerates the reuse-count breakdown of Figure 1.
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.Options{
 			Accesses: 300_000, Warmup: 300_000, Seed: 7,
@@ -101,6 +168,7 @@ func BenchmarkFig1(b *testing.B) {
 
 // BenchmarkFig3 regenerates the soplex reuse-distance classes of Figure 3.
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.Options{
 			Accesses: 400_000, Warmup: 0, WarmupSet: true, Seed: 7,
@@ -113,6 +181,7 @@ func BenchmarkFig3(b *testing.B) {
 // BenchmarkTable2 regenerates the Table 2 energy parameters from the wire
 // model.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.Options{Benchmarks: []string{"milc"}})
 		if res := s.Table2(); res.MaxRelErr > 0.03 {
@@ -123,6 +192,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkHTree regenerates the Section 2.1 H-tree comparison.
 func BenchmarkHTree(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.Options{
 			Accesses: 200_000, Warmup: 200_000, Seed: 7,
@@ -137,6 +207,7 @@ func BenchmarkHTree(b *testing.B) {
 
 // BenchmarkFig9 regenerates the L2/L3 energy savings comparison.
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchOpts())
 		res := s.Fig9()
@@ -150,6 +221,7 @@ func BenchmarkFig9(b *testing.B) {
 
 // BenchmarkFig10 regenerates the full-system savings of Figure 10.
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchOpts())
 		s.Fig10()
@@ -158,6 +230,7 @@ func BenchmarkFig10(b *testing.B) {
 
 // BenchmarkFig11 regenerates the access/movement breakdown of Figure 11.
 func BenchmarkFig11(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchOpts())
 		s.Fig11()
@@ -166,6 +239,7 @@ func BenchmarkFig11(b *testing.B) {
 
 // BenchmarkFig12 regenerates the relative miss traffic of Figure 12.
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchOpts())
 		s.Fig12()
@@ -174,6 +248,7 @@ func BenchmarkFig12(b *testing.B) {
 
 // BenchmarkFig13 regenerates the speedups of Figure 13.
 func BenchmarkFig13(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchOpts())
 		s.Fig13()
@@ -182,6 +257,7 @@ func BenchmarkFig13(b *testing.B) {
 
 // BenchmarkFig14 regenerates the insertion-class breakdown of Figure 14.
 func BenchmarkFig14(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchOpts())
 		s.Fig14()
@@ -190,6 +266,7 @@ func BenchmarkFig14(b *testing.B) {
 
 // BenchmarkFig15 regenerates the sublevel access fractions of Figure 15.
 func BenchmarkFig15(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(benchOpts())
 		s.Fig15()
@@ -198,6 +275,7 @@ func BenchmarkFig15(b *testing.B) {
 
 // BenchmarkFig16 regenerates the multiprogrammed study of Figure 16.
 func BenchmarkFig16(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.Options{
 			Accesses: 150_000, Warmup: 250_000, Seed: 7,
@@ -212,6 +290,7 @@ func BenchmarkFig16(b *testing.B) {
 
 // BenchmarkTech22 regenerates the 22nm scaling study.
 func BenchmarkTech22(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.Options{
 			Accesses: 300_000, Warmup: 500_000, Seed: 7,
@@ -223,6 +302,7 @@ func BenchmarkTech22(b *testing.B) {
 
 // BenchmarkBinWidth regenerates the distribution-accuracy sensitivity study.
 func BenchmarkBinWidth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.Options{
 			Accesses: 200_000, Warmup: 300_000, Seed: 7,
@@ -234,6 +314,7 @@ func BenchmarkBinWidth(b *testing.B) {
 
 // BenchmarkSampling regenerates the Section 4.2 sampling-traffic study.
 func BenchmarkSampling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(experiments.Options{
 			Accesses: 200_000, Warmup: 300_000, Seed: 7,
@@ -247,6 +328,7 @@ func BenchmarkSampling(b *testing.B) {
 // as SLIP's underlying replacement policy — the design-choice ablation
 // called out in DESIGN.md.
 func BenchmarkRRIPAblation(b *testing.B) {
+	b.ReportAllocs()
 	spec, _ := workloads.ByName("soplex")
 	for i := 0; i < b.N; i++ {
 		for _, rrip := range []bool{false, true} {

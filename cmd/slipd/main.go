@@ -9,6 +9,11 @@
 //	slipd [-addr :8080] [-workers N] [-queue N] [-store N]
 //	      [-accesses N] [-warmup N] [-seed N]
 //	      [-job-timeout 5m] [-drain-timeout 30s]
+//	      [-trace-cache-mb 256] [-pprof-addr 127.0.0.1:6060]
+//
+// -pprof-addr (off by default) serves net/http/pprof on a separate
+// listener, so daemon hot paths can be profiled in place without exposing
+// the profiling surface on the API address.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux only
 	"os"
 	"os/signal"
 	"runtime"
@@ -39,6 +45,8 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "default random seed")
 		jobTO    = flag.Duration("job-timeout", 5*time.Minute, "per-job deadline; expired jobs report cancelled")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		traceMB  = flag.Int64("trace-cache-mb", 256, "trace materialization cache budget in MiB (0 disables)")
+		pprofFl  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -64,6 +72,9 @@ func main() {
 	if *drainTO <= 0 {
 		fail("-drain-timeout must be positive (got %v)", *drainTO)
 	}
+	if *traceMB < 0 {
+		fail("-trace-cache-mb must be >= 0 (got %d)", *traceMB)
+	}
 	if err := workloads.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -83,9 +94,26 @@ func main() {
 		w := uint64(*warmup)
 		cfg.DefaultWarmup = &w
 	}
+	if *traceMB == 0 {
+		cfg.TraceCacheBytes = -1 // disabled
+	} else {
+		cfg.TraceCacheBytes = *traceMB << 20
+	}
 
 	srv := service.New(cfg)
 	srv.Start()
+
+	// The profiling listener is separate from the API listener and uses
+	// the default mux, where the blank net/http/pprof import registered
+	// its handlers; the API mux never exposes them.
+	if *pprofFl != "" {
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofFl)
+			if err := http.ListenAndServe(*pprofFl, nil); err != nil {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)

@@ -55,6 +55,7 @@ func main() {
 		specIn   = flag.String("spec", "", "run a canonical spec JSON file instead of the flags ('-' for stdin)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the canonical spec JSON for the given flags and exit")
 		traceIn  = flag.String("trace", "", "replay a binary trace file instead of a workload")
+		useTC    = flag.Bool("trace-cache", false, "materialize each trace once and replay it (as the experiment engine does); results are bit-identical")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
@@ -139,6 +140,13 @@ func main() {
 		}
 		w, _ := workloads.ByName(name) // canonical specs name valid workloads
 		srcs[i] = w.Build(c.Seed + uint64(i))
+		if *useTC {
+			// Record the whole stream up front and drive the run from the
+			// compact replay buffer (the experiment engine's trace-cache
+			// path); one cursor spans warmup and measurement like the live
+			// generator would.
+			srcs[i] = trace.Record(srcs[i], *c.Warmup+c.Accesses).Replay()
+		}
 	}
 	limit := func(n uint64) []trace.Source {
 		out := make([]trace.Source, len(srcs))

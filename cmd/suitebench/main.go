@@ -4,13 +4,22 @@
 //
 //   - ns per simulated access and accesses/second through the full
 //     SLIP+ABP system on one goroutine;
+//
 //   - wall-clock of the benchmark x policy matrix sequentially and on the
 //     worker pool, and the resulting speedup.
+//
+//   - the trace-generation share of a run (generator-only ns/access vs.
+//     full-simulation ns/access);
+//
+//   - wall-clock of the fig9 benchmark x policy matrix (every benchmark
+//     against all five policies) with the trace materialization cache off
+//     and on at the same parallelism, written to BENCH_replay.json.
 //
 // Usage:
 //
 //	suitebench [-accesses N] [-warmup N] [-benchmarks a,b,c]
 //	           [-parallel N] [-out BENCH_suite.json]
+//	           [-replay-benchmarks a,b,c] [-replay-out BENCH_replay.json]
 package main
 
 import (
@@ -45,12 +54,39 @@ type result struct {
 	MatrixBenchmarks string  `json:"matrix_benchmarks"`
 }
 
-// timeMatrix simulates the matrix on a fresh suite and returns wall-clock.
-func timeMatrix(opts experiments.Options, pols []hier.PolicyKind) time.Duration {
+// replayResult is the JSON schema of BENCH_replay.json: the fig9
+// benchmark x policy matrix timed with the trace materialization cache off
+// and on, at identical parallelism.
+type replayResult struct {
+	MatrixRuns     int    `json:"matrix_runs"`
+	Benchmarks     string `json:"benchmarks"`
+	Policies       string `json:"policies"`
+	AccessesPerRun uint64 `json:"accesses_per_run"`
+	WarmupPerRun   uint64 `json:"warmup_per_run"`
+	Parallelism    int    `json:"parallelism"`
+
+	CacheOffNs int64   `json:"cache_off_ns"`
+	CacheOnNs  int64   `json:"cache_on_ns"`
+	Speedup    float64 `json:"speedup"`
+
+	// Trace-generation vs. simulation split on one goroutine.
+	TraceGenNsPerAccess float64 `json:"trace_gen_ns_per_access"`
+	SimNsPerAccess      float64 `json:"sim_ns_per_access"`
+	TraceGenShare       float64 `json:"trace_gen_share"`
+
+	// Cache activity of the cache-on pass.
+	TraceCacheHits   uint64 `json:"trace_cache_hits"`
+	TraceCacheMisses uint64 `json:"trace_cache_misses"`
+	TraceCacheBytes  int64  `json:"trace_cache_bytes"`
+}
+
+// timeMatrix simulates the matrix on a fresh suite and returns wall-clock
+// plus the suite (so callers can read its trace-cache stats).
+func timeMatrix(opts experiments.Options, pols []hier.PolicyKind) (time.Duration, *experiments.Suite) {
 	s := experiments.NewSuite(opts)
 	start := time.Now()
 	s.RunAll(pols...)
-	return time.Since(start)
+	return time.Since(start), s
 }
 
 func main() {
@@ -61,6 +97,8 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the parallel pass")
 		single   = flag.Uint64("single", 2_000_000, "accesses for the single-thread throughput pass")
 		out      = flag.String("out", "BENCH_suite.json", "output JSON path")
+		replayB  = flag.String("replay-benchmarks", "", "benchmark set for the replay pass (default: all, the fig9 matrix)")
+		replayO  = flag.String("replay-out", "BENCH_replay.json", "replay benchmark output JSON path (empty skips the pass)")
 	)
 	flag.Parse()
 
@@ -98,16 +136,38 @@ func main() {
 	src := spec.Build(1)
 	start := time.Now()
 	for i := uint64(0); i < *single; i++ {
-		a, _ := src.Next()
+		a, ok := src.Next()
+		if !ok { // workload generators are unbounded, but stay honest
+			src = spec.Build(1)
+			a, _ = src.Next()
+		}
 		sys.Access(0, a)
 	}
 	elapsed := time.Since(start)
+
+	// Generator-only pass over the same stream: the trace-generation share
+	// of a run, i.e. the per-access cost the materialization cache removes
+	// from every replayed run.
+	gsrc := spec.Build(1)
+	var sink uint64
+	genStart := time.Now()
+	for i := uint64(0); i < *single; i++ {
+		a, ok := gsrc.Next()
+		if !ok {
+			gsrc = spec.Build(1)
+			a, _ = gsrc.Next()
+		}
+		sink += uint64(a.Addr)
+	}
+	genElapsed := time.Since(genStart)
+	_ = sink
 
 	res := result{
 		SingleThreadAccesses:    *single,
 		SingleThreadNsPerAccess: float64(elapsed.Nanoseconds()) / float64(*single),
 		SingleThreadAccessesSec: float64(*single) / elapsed.Seconds(),
 	}
+	genNs := float64(genElapsed.Nanoseconds()) / float64(*single)
 
 	// Matrix wall-clock, sequential vs pooled. Fresh suites per pass so the
 	// memo cache cannot leak work between them.
@@ -127,11 +187,11 @@ func main() {
 
 	seqOpts := opts
 	seqOpts.Parallelism = 1
-	seq := timeMatrix(seqOpts, pols)
+	seq, _ := timeMatrix(seqOpts, pols)
 
 	parOpts := opts
 	parOpts.Parallelism = *parallel
-	par := timeMatrix(parOpts, pols)
+	par, _ := timeMatrix(parOpts, pols)
 
 	res.SequentialNs = seq.Nanoseconds()
 	res.ParallelNs = par.Nanoseconds()
@@ -139,20 +199,91 @@ func main() {
 		res.Speedup = seq.Seconds() / par.Seconds()
 	}
 
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	writeJSON := func(path string, v any) {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("single-thread: %.1f ns/access (%.2fM accesses/s)\n",
-		res.SingleThreadNsPerAccess, res.SingleThreadAccessesSec/1e6)
+	writeJSON(*out, res)
+	fmt.Printf("single-thread: %.1f ns/access (%.2fM accesses/s), trace gen %.1f ns/access (%.0f%% of a run)\n",
+		res.SingleThreadNsPerAccess, res.SingleThreadAccessesSec/1e6,
+		genNs, 100*genNs/res.SingleThreadNsPerAccess)
 	fmt.Printf("matrix (%d runs): sequential %v, parallel %v on %d workers — %.2fx\n",
 		res.MatrixRuns, seq.Round(time.Millisecond), par.Round(time.Millisecond),
 		*parallel, res.Speedup)
 	fmt.Printf("wrote %s\n", *out)
+
+	if *replayO == "" {
+		return
+	}
+
+	// Replay pass: the fig9 matrix (every benchmark x all five policies),
+	// cache off then cache on, at the same parallelism. The off pass is the
+	// regenerate-per-run behaviour; the on pass materializes each workload
+	// trace once and replays it for the other four policies.
+	rbset := workloads.Names()
+	rbNames := strings.Join(rbset, ",")
+	if *replayB != "" {
+		rbset = strings.Split(*replayB, ",")
+		for _, b := range rbset {
+			if _, ok := workloads.ByName(b); !ok {
+				fail("unknown replay benchmark %q (see slipbench -list)", b)
+			}
+		}
+		rbNames = *replayB
+	}
+	rpols := []hier.PolicyKind{hier.Baseline, hier.NuRAPID, hier.LRUPEA, hier.SLIP, hier.SLIPABP}
+	polNames := make([]string, len(rpols))
+	for i, p := range rpols {
+		polNames[i] = fmt.Sprint(p)
+	}
+	ropts := experiments.Options{
+		Accesses:    *acc,
+		Warmup:      *warm,
+		WarmupSet:   true,
+		Seed:        7,
+		Benchmarks:  rbset,
+		Parallelism: *parallel,
+	}
+	offOpts := ropts
+	offOpts.TraceCacheBytes = -1 // disable materialization
+	off, _ := timeMatrix(offOpts, rpols)
+	on, onSuite := timeMatrix(ropts, rpols)
+
+	rres := replayResult{
+		MatrixRuns:          len(rbset) * len(rpols),
+		Benchmarks:          rbNames,
+		Policies:            strings.Join(polNames, ","),
+		AccessesPerRun:      *acc,
+		WarmupPerRun:        *warm,
+		Parallelism:         *parallel,
+		CacheOffNs:          off.Nanoseconds(),
+		CacheOnNs:           on.Nanoseconds(),
+		TraceGenNsPerAccess: genNs,
+		SimNsPerAccess:      res.SingleThreadNsPerAccess,
+	}
+	if on > 0 {
+		rres.Speedup = off.Seconds() / on.Seconds()
+	}
+	if res.SingleThreadNsPerAccess > 0 {
+		rres.TraceGenShare = genNs / res.SingleThreadNsPerAccess
+	}
+	if tc := onSuite.TraceCache(); tc != nil {
+		st := tc.Stats()
+		rres.TraceCacheHits = st.Hits
+		rres.TraceCacheMisses = st.Misses
+		rres.TraceCacheBytes = st.Bytes
+	}
+	writeJSON(*replayO, rres)
+	fmt.Printf("replay matrix (%d runs): cache off %v, cache on %v — %.2fx (%d traces, %.1f MiB, %d hits)\n",
+		rres.MatrixRuns, off.Round(time.Millisecond), on.Round(time.Millisecond), rres.Speedup,
+		rres.TraceCacheMisses, float64(rres.TraceCacheBytes)/(1<<20), rres.TraceCacheHits)
+	fmt.Printf("wrote %s\n", *replayO)
 }

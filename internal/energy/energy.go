@@ -271,6 +271,11 @@ type LevelParams struct {
 	SublevelPJ []float64
 	// SublevelLatency[i] is the access latency of sublevel i.
 	SublevelLatency []int
+
+	// waySub caches the way -> sublevel mapping; Validate fills it, and
+	// WaySublevel falls back to a scan for hand-built params that never
+	// validated.
+	waySub []int
 }
 
 // Validate checks internal consistency; every constructor in this package
@@ -292,6 +297,14 @@ func (p *LevelParams) Validate() error {
 			return fmt.Errorf("energy: %s: sublevel energies must be non-decreasing", p.Name)
 		}
 	}
+	// A validated geometry is fixed, so the way -> sublevel map can be
+	// flattened once; WaySublevel sits on per-access policy paths.
+	p.waySub = make([]int, 0, ways)
+	for i, n := range p.SublevelWays {
+		for k := 0; k < n; k++ {
+			p.waySub = append(p.waySub, i)
+		}
+	}
 	return nil
 }
 
@@ -300,6 +313,12 @@ func (p *LevelParams) NumWays() int { return len(p.WayAccessPJ) }
 
 // WaySublevel returns the sublevel index that way w belongs to.
 func (p *LevelParams) WaySublevel(w int) int {
+	if p.waySub != nil {
+		if w < len(p.waySub) {
+			return p.waySub[w]
+		}
+		panic(fmt.Sprintf("energy: way %d beyond last sublevel of %s", w, p.Name))
+	}
 	for i, n := range p.SublevelWays {
 		if w < n {
 			return i

@@ -46,6 +46,18 @@ type Options struct {
 	// (default: runtime.GOMAXPROCS(0)). It only affects how many distinct
 	// simulations run concurrently, never the result of any of them.
 	Parallelism int
+	// TraceCacheBytes bounds the trace materialization cache: each
+	// workload's access stream is recorded once (compact varint encoding)
+	// and replayed for every policy that consumes it, which is most of the
+	// non-simulator cost of a benchmark x policy matrix. Zero selects
+	// DefaultTraceCacheBytes; a negative value disables materialization
+	// entirely (sources are regenerated per run, the pre-cache behaviour).
+	// Replayed runs are bit-identical to generated ones.
+	TraceCacheBytes int64
+	// TraceCache, when non-nil, is used instead of a suite-private cache,
+	// letting several suites (the slipd per-job suites) share one
+	// materialization pool. TraceCacheBytes is ignored in that case.
+	TraceCache *TraceCache
 	// Out receives the printed tables (nil discards).
 	Out io.Writer
 	// Progress, when set, receives simulation progress: the memo key of
@@ -72,6 +84,9 @@ func (o *Options) fill() {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.TraceCache == nil && o.TraceCacheBytes >= 0 {
+		o.TraceCache = NewTraceCache(o.TraceCacheBytes)
 	}
 	if o.Out == nil {
 		o.Out = io.Discard
@@ -237,6 +252,32 @@ func (s *Suite) RunS(sp RunSpec) *hier.System {
 	return sys
 }
 
+// TraceCache exposes the suite's trace materialization cache (nil when
+// disabled), so tools and the daemon can report its statistics.
+func (s *Suite) TraceCache() *TraceCache { return s.opts.TraceCache }
+
+// source builds core i's access stream: a replay of the materialized trace
+// when the cache is enabled, a live generator otherwise. One Replay is
+// consumed across both run phases (warmup then measured) exactly like a
+// live generator would be, so total covers both.
+//
+// A stream that could never be retained — every record takes at least two
+// encoded bytes, so 2*total over the byte budget is a certain eviction —
+// is not materialized at all: recording it would buy no reuse, cost a
+// giant allocation, and (unlike the simulation itself) run outside the
+// context's cancellation checks.
+func (s *Suite) source(name string, seed, total uint64) trace.Source {
+	wl, _ := workloads.ByName(name) // canonical specs name valid workloads
+	tc := s.opts.TraceCache
+	if tc == nil || total == 0 || total > uint64(tc.Budget())/2 {
+		return wl.Build(seed)
+	}
+	buf := tc.Get(traceCacheKey(name, seed, total), func() *trace.Buffer {
+		return trace.Record(wl.Build(seed), total)
+	})
+	return buf.Replay()
+}
+
 // simulate drives one canonical spec: per-core trace sources (core 0 runs
 // the workload with the spec seed, core i runs MixWith — or the workload
 // again — with seed+i), warmup, statistics reset, then the measured
@@ -248,14 +289,14 @@ func (s *Suite) simulate(ctx context.Context, key string, c spec.Spec) (*hier.Sy
 		return nil, err // unreachable: c is canonical
 	}
 	sys := hier.New(cfg)
+	warm := *c.Warmup
 	srcs := make([]trace.Source, cfg.NumCores)
 	for i := range srcs {
 		name := c.Workload
 		if i > 0 && c.MixWith != "" {
 			name = c.MixWith
 		}
-		wl, _ := workloads.ByName(name) // canonical specs name valid workloads
-		srcs[i] = wl.Build(c.Seed + uint64(i))
+		srcs[i] = s.source(name, c.Seed+uint64(i), warm+c.Accesses)
 	}
 	limit := func(n uint64) []trace.Source {
 		out := make([]trace.Source, len(srcs))
@@ -264,7 +305,6 @@ func (s *Suite) simulate(ctx context.Context, key string, c spec.Spec) (*hier.Sy
 		}
 		return out
 	}
-	warm := *c.Warmup
 	if warm > 0 {
 		if err := sys.RunContext(ctx, s.progressFor(key, 0), limit(warm)...); err != nil {
 			return nil, err

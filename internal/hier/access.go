@@ -46,33 +46,55 @@ func (s *System) RunContext(ctx context.Context, progress func(done uint64), src
 	if len(srcs) != len(s.cores) {
 		panic("hier: Run needs exactly one source per core")
 	}
+	// The trace is consumed in cancelCheckEvery-sized batches: one
+	// NextBatchWithCore call replaces a few thousand interface dispatches
+	// through the interleave/limiter/generator chain, and materialized
+	// traces (trace.Buffer replays) decode in a tight varint loop. The
+	// access sequence is exactly the scalar one — a short batch is, by the
+	// BatchSource contract, the point where NextWithCore would have
+	// returned ok=false — and the context poll and progress call happen at
+	// the same access counts as the scalar loop did, so results and
+	// cancellation points are bit-identical.
 	iv := trace.NewInterleave(srcs...)
 	done := ctx.Done()
+	multi := len(s.cores) > 1
+	batch := make([]trace.Access, cancelCheckEvery)
+	var cores []int
+	if multi {
+		cores = make([]int, cancelCheckEvery)
+	}
 	var n uint64
 	for {
-		a, coreID, ok := iv.NextWithCore()
-		if !ok {
+		var k int
+		if multi {
+			k = iv.NextBatchWithCore(batch, cores)
+			for i := 0; i < k; i++ {
+				a := batch[i]
+				a.Addr = shiftAddr(cores[i], a.Addr)
+				s.Access(cores[i], a)
+			}
+		} else {
+			k = iv.NextBatch(batch)
+			for i := 0; i < k; i++ {
+				s.Access(0, batch[i])
+			}
+		}
+		n += uint64(k)
+		if k < len(batch) {
 			if progress != nil {
 				progress(n)
 			}
 			return nil
 		}
-		if len(s.cores) > 1 {
-			a.Addr = shiftAddr(coreID, a.Addr)
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 		}
-		s.Access(coreID, a)
-		n++
-		if n&(cancelCheckEvery-1) == 0 {
-			if done != nil {
-				select {
-				case <-done:
-					return ctx.Err()
-				default:
-				}
-			}
-			if progress != nil {
-				progress(n)
-			}
+		if progress != nil {
+			progress(n)
 		}
 	}
 }

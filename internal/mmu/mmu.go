@@ -83,26 +83,26 @@ type Stats struct {
 	PolicyRecomputs stats.Counter // EOU invocations
 }
 
-// tlbEntry is one TLB slot. Entries carry the resolved PTE pointer so TLB
-// hits — the overwhelmingly common case — never touch the page-table map.
-type tlbEntry struct {
-	page  mem.PageID
-	pte   *PTE
-	stamp uint64 // LRU stamp (unique: one clock tick per translation)
-}
-
-// MMU is the TLB + page table pair. The TLB is a packed slice rather than a
-// map: with at most DefaultTLBEntries slots, a linear scan over contiguous
-// entries beats hashed lookup on both hits (no hash, no stamp re-insert) and
-// misses (the LRU victim scan walks a few cache lines instead of iterating a
-// map). Stamps are unique, so the minimum-stamp victim is the same entry the
-// map-based implementation chose — replacement behaviour is bit-identical.
+// MMU is the TLB + page table pair. The TLB is three parallel packed
+// slices (page keys, PTE pointers, LRU stamps) rather than a map or a
+// struct slice: the hit scan touches only the contiguous page-key array —
+// 64 entries fit in eight cache lines — and the LRU victim scan touches
+// only the stamp array. Lookup order is a pure performance concern: the
+// slot of the previous hit is probed first (accesses burst within a page),
+// and each scan hit transposes the entry one slot toward the front so hot
+// pages cluster there. Replacement is decided by stamps alone, which are
+// unique (one clock tick per translation), so the minimum-stamp victim —
+// and therefore every architectural event — is identical no matter how the
+// slots are ordered.
 type MMU struct {
-	cfg   Config
-	pages map[mem.PageID]*PTE
-	tlb   []tlbEntry
-	clock uint64
-	rng   *trace.RNG
+	cfg       Config
+	pages     map[mem.PageID]*PTE
+	tlbPages  []mem.PageID
+	tlbPTEs   []*PTE
+	tlbStamps []uint64
+	lastHit   int
+	clock     uint64
+	rng       *trace.RNG
 
 	Stats Stats
 }
@@ -122,10 +122,12 @@ func New(cfg Config) *MMU {
 		cfg.MinSamples = DefaultMinSamples
 	}
 	return &MMU{
-		cfg:   cfg,
-		pages: make(map[mem.PageID]*PTE),
-		tlb:   make([]tlbEntry, 0, cfg.TLBEntries),
-		rng:   trace.NewRNG(cfg.Seed ^ 0x51e9),
+		cfg:       cfg,
+		pages:     make(map[mem.PageID]*PTE),
+		tlbPages:  make([]mem.PageID, 0, cfg.TLBEntries),
+		tlbPTEs:   make([]*PTE, 0, cfg.TLBEntries),
+		tlbStamps: make([]uint64, 0, cfg.TLBEntries),
+		rng:       trace.NewRNG(cfg.Seed ^ 0x51e9),
 	}
 }
 
@@ -168,11 +170,30 @@ type TranslateResult struct {
 // machine on misses.
 func (m *MMU) Translate(p mem.PageID) TranslateResult {
 	m.clock++
-	for i := range m.tlb {
-		if m.tlb[i].page == p {
-			m.tlb[i].stamp = m.clock
+	// Same-page bursts resolve against the previous hit's slot without a
+	// scan; the stamp still advances, so LRU state is exactly as if the
+	// full scan had run.
+	if li := m.lastHit; li < len(m.tlbPages) && m.tlbPages[li] == p {
+		m.tlbStamps[li] = m.clock
+		m.Stats.TLBHits.Inc()
+		return TranslateResult{PTE: m.tlbPTEs[li]}
+	}
+	for i, pg := range m.tlbPages {
+		if pg == p {
+			m.tlbStamps[i] = m.clock
+			pte := m.tlbPTEs[i]
+			if i > 0 {
+				// Transpose toward the front to shorten future scans;
+				// order never affects replacement (stamps do).
+				j := i - 1
+				m.tlbPages[i], m.tlbPages[j] = m.tlbPages[j], m.tlbPages[i]
+				m.tlbPTEs[i], m.tlbPTEs[j] = m.tlbPTEs[j], m.tlbPTEs[i]
+				m.tlbStamps[i], m.tlbStamps[j] = m.tlbStamps[j], m.tlbStamps[i]
+				i = j
+			}
+			m.lastHit = i
 			m.Stats.TLBHits.Inc()
-			return TranslateResult{PTE: m.tlb[i].pte}
+			return TranslateResult{PTE: pte}
 		}
 	}
 	pte := m.PTEOf(p)
@@ -180,22 +201,27 @@ func (m *MMU) Translate(p mem.PageID) TranslateResult {
 	res := TranslateResult{PTE: pte, TLBMiss: true}
 	// Evict the LRU TLB entry when full; a displaced sampling page's
 	// distribution counters are written back to DRAM.
-	if len(m.tlb) >= m.cfg.TLBEntries {
+	if len(m.tlbPages) >= m.cfg.TLBEntries {
 		victim := 0
-		for i := 1; i < len(m.tlb); i++ {
-			if m.tlb[i].stamp < m.tlb[victim].stamp {
+		for i, st := range m.tlbStamps {
+			if st < m.tlbStamps[victim] {
 				victim = i
 			}
 		}
-		ve := m.tlb[victim]
-		if ve.pte.Sampling {
+		if vp := m.tlbPTEs[victim]; vp.Sampling {
 			m.Stats.ProfileWrites.Inc()
-			res.WritebackProfile = ve.page
+			res.WritebackProfile = m.tlbPages[victim]
 			res.WritebackValid = true
 		}
-		m.tlb[victim] = tlbEntry{page: p, pte: pte, stamp: m.clock}
+		m.tlbPages[victim] = p
+		m.tlbPTEs[victim] = pte
+		m.tlbStamps[victim] = m.clock
+		m.lastHit = victim
 	} else {
-		m.tlb = append(m.tlb, tlbEntry{page: p, pte: pte, stamp: m.clock})
+		m.tlbPages = append(m.tlbPages, p)
+		m.tlbPTEs = append(m.tlbPTEs, pte)
+		m.tlbStamps = append(m.tlbStamps, m.clock)
+		m.lastHit = len(m.tlbPages) - 1
 	}
 	if pte.Sampling {
 		// Distribution metadata is only fetched for sampling pages.
@@ -226,8 +252,8 @@ func (m *MMU) NotePolicyUpdate() { m.Stats.PolicyRecomputs.Inc() }
 
 // InTLB reports whether p currently hits in the TLB.
 func (m *MMU) InTLB(p mem.PageID) bool {
-	for i := range m.tlb {
-		if m.tlb[i].page == p {
+	for _, pg := range m.tlbPages {
+		if pg == p {
 			return true
 		}
 	}

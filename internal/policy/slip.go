@@ -22,6 +22,19 @@ type SLIP struct {
 
 	// InsertClasses counts insertions by SLIP class for Figure 14.
 	InsertClasses [4]uint64
+
+	// Per-level lookup tables, built on the first Insert against a level
+	// (tabLevel remembers which). They fold the per-insertion
+	// decode/bounds/mask arithmetic into three array reads; the values are
+	// pure functions of the SLIP enumeration and the level geometry, so
+	// behaviour is identical to computing them inline.
+	tabLevel *cache.Level
+	class    []uint8           // Classify(numSub) per code
+	mask0    []cache.WayMask   // chunk-0 mask per code; 0 marks bypass
+	nextMask [][]cache.WayMask // [code][sublevel] mask of the chunk after
+	// the one holding that sublevel; 0 when the line leaves the level
+	waySub []int // sublevel of each way
+	chain  []int // displacement-chain scratch (len <= numSub+1)
 }
 
 // NewSLIP builds the driver for a level with numSublevels sublevels;
@@ -78,33 +91,63 @@ func chunkMask(l *cache.Level, sl core.SLIP, i int) cache.WayMask {
 	return l.ChunkMask(first, last)
 }
 
+// buildTables precomputes the per-code lookup tables for level l.
+func (s *SLIP) buildTables(l *cache.Level) {
+	s.tabLevel = l
+	s.class = make([]uint8, len(s.slips))
+	s.mask0 = make([]cache.WayMask, len(s.slips))
+	s.nextMask = make([][]cache.WayMask, len(s.slips))
+	for code, sl := range s.slips {
+		s.class[code] = uint8(sl.Classify(s.numSub))
+		if !sl.IsBypass() {
+			s.mask0[code] = chunkMask(l, sl, 0)
+		}
+		row := make([]cache.WayMask, s.numSub)
+		for sub := 0; sub < s.numSub; sub++ {
+			if chunk := sl.ChunkOf(sub); chunk >= 0 && chunk+1 < sl.NumChunks() {
+				row[sub] = chunkMask(l, sl, chunk+1)
+			}
+		}
+		s.nextMask[code] = row
+	}
+	s.waySub = make([]int, l.NumWays())
+	for w := range s.waySub {
+		s.waySub[w] = l.Params().WaySublevel(w)
+	}
+	s.chain = make([]int, 0, s.numSub+1)
+}
+
 // Insert implements Driver: the SLIP state machine of Figure 6.
 func (s *SLIP) Insert(l *cache.Level, a mem.LineAddr, dirty bool, meta cache.Meta) Outcome {
-	sl := s.Decode(s.codeOf(meta))
-	s.InsertClasses[sl.Classify(s.numSub)]++
-	if sl.IsBypass() {
+	if s.tabLevel != l {
+		s.buildTables(l)
+	}
+	code := s.codeOf(meta)
+	s.InsertClasses[s.class[code]]++
+	m0 := s.mask0[code]
+	if m0 == 0 { // bypass SLIPs have no chunk-0 mask
 		l.NoteBypass()
 		return Outcome{Bypassed: true}
 	}
 	set := l.SetOf(a)
 	// Build the displacement chain. Each displaced line moves into the
 	// next chunk of its *own* SLIP; sublevel indices increase strictly
-	// along the chain, so it terminates within numSub steps.
-	chain := []int{l.VictimIn(set, chunkMask(l, sl, 0))}
+	// along the chain, so it terminates within numSub steps (the scratch
+	// slice never reallocates).
+	chain := append(s.chain[:0], l.VictimIn(set, m0))
 	for {
-		cur := l.LineAt(set, chain[len(chain)-1])
+		w := chain[len(chain)-1]
+		cur := l.LineAt(set, w)
 		if !cur.Valid {
 			break // empty way absorbs the chain
 		}
-		curSLIP := s.Decode(s.codeOf(cur.Meta))
-		sub := l.Params().WaySublevel(chain[len(chain)-1])
-		chunk := curSLIP.ChunkOf(sub)
-		if chunk < 0 || chunk+1 >= curSLIP.NumChunks() {
+		next := s.nextMask[s.codeOf(cur.Meta)][s.waySub[w]]
+		if next == 0 {
 			// The line's SLIP has no farther chunk (or no longer covers its
 			// resident sublevel after a policy update): it leaves the level.
 			break
 		}
-		chain = append(chain, l.VictimIn(set, chunkMask(l, curSLIP, chunk+1)))
+		chain = append(chain, l.VictimIn(set, next))
 	}
 	var out Outcome
 	for k := len(chain) - 1; k >= 1; k-- {

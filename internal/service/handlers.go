@@ -170,13 +170,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics renders the Prometheus registry with live gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ts := s.TraceCacheStats()
 	s.metrics.WriteTo(w, Gauges{
-		QueueDepth:    s.queue.Depth,
-		QueueCap:      s.queue.Cap,
-		JobsQueued:    s.queuedCount,
-		JobsRunning:   func() int { return int(s.running.Load()) },
-		StoreLen:      s.store.Len,
-		StoreEvicted:  s.store.Evictions,
-		StoreCapacity: func() int { return s.cfg.StoreCap },
+		QueueDepth:     s.queue.Depth,
+		QueueCap:       s.queue.Cap,
+		JobsQueued:     s.queuedCount,
+		JobsRunning:    func() int { return int(s.running.Load()) },
+		StoreLen:       s.store.Len,
+		StoreEvicted:   s.store.Evictions,
+		StoreCapacity:  func() int { return s.cfg.StoreCap },
+		TraceHits:      func() uint64 { return ts.Hits },
+		TraceMisses:    func() uint64 { return ts.Misses },
+		TraceBytes:     func() int64 { return ts.Bytes },
+		TraceEvictions: func() uint64 { return ts.Evictions },
 	})
 }

@@ -112,6 +112,13 @@ type Gauges struct {
 	StoreLen      func() int
 	StoreEvicted  func() uint64
 	StoreCapacity func() int
+	// Trace materialization cache counters (experiments.TraceCache); nil
+	// funcs render as zero so /metrics keeps a stable shape when the
+	// cache is disabled.
+	TraceHits      func() uint64
+	TraceMisses    func() uint64
+	TraceBytes     func() int64
+	TraceEvictions func() uint64
 }
 
 // WriteTo renders the registry in Prometheus text exposition format.
@@ -152,6 +159,25 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	gauge("slipd_result_cache_size", "Results currently cached.", float64(g.StoreLen()))
 	gauge("slipd_result_cache_capacity", "Result store capacity.", float64(g.StoreCapacity()))
 	counter("slipd_result_cache_evictions_total", "Results evicted by the LRU.", float64(g.StoreEvicted()))
+
+	// Trace materialization cache: one trace generated (miss) can serve
+	// many runs (hits); bytes is the retained encoded footprint.
+	u64 := func(f func() uint64) float64 {
+		if f == nil {
+			return 0
+		}
+		return float64(f())
+	}
+	i64 := func(f func() int64) float64 {
+		if f == nil {
+			return 0
+		}
+		return float64(f())
+	}
+	gauge("slip_trace_cache_hits", "Runs served by an already-materialized (or in-flight) trace.", u64(g.TraceHits))
+	gauge("slip_trace_cache_misses", "Runs that had to generate and record their trace.", u64(g.TraceMisses))
+	gauge("slip_trace_cache_bytes", "Encoded trace bytes currently retained.", i64(g.TraceBytes))
+	gauge("slip_trace_cache_evictions", "Traces evicted by the LRU byte budget.", u64(g.TraceEvictions))
 
 	counter("slipd_sim_accesses_total", "Memory accesses simulated across all jobs.", float64(m.accessesTotal))
 	perSec := 0.0

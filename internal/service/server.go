@@ -33,6 +33,12 @@ type Config struct {
 	// JobTimeout is the per-job deadline; an expired job reports state
 	// cancelled (default 5m). Requests may shorten it, never extend it.
 	JobTimeout time.Duration
+	// TraceCacheBytes bounds the trace materialization cache shared by
+	// every job and the experiment endpoints: each distinct workload
+	// stream is generated once and replayed by later runs (bit-identical
+	// results). Zero selects experiments.DefaultTraceCacheBytes; negative
+	// disables materialization.
+	TraceCacheBytes int64
 	// Log receives operational messages (default: discard).
 	Log *log.Logger
 }
@@ -100,6 +106,11 @@ type Server struct {
 	expOut      *swappableWriter
 	expRenderMu sync.Mutex
 
+	// traceCache is shared by the experiment suite and every per-job
+	// suite, so a daemon serving many policies over few workloads
+	// generates each trace once. Nil when disabled by config.
+	traceCache *experiments.TraceCache
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -126,24 +137,31 @@ func New(cfg Config) *Server {
 	if cfg.DefaultWarmup != nil {
 		warmup = *cfg.DefaultWarmup
 	}
+	var traceCache *experiments.TraceCache
+	if cfg.TraceCacheBytes >= 0 {
+		traceCache = experiments.NewTraceCache(cfg.TraceCacheBytes)
+	}
 	s := &Server{
 		cfg:     cfg,
 		queue:   NewQueue(cfg.QueueDepth),
 		store:   NewStore(cfg.StoreCap),
 		metrics: NewMetrics(),
 		expSuite: experiments.NewSuite(experiments.Options{
-			Accesses:    cfg.DefaultAccesses,
-			Warmup:      warmup,
-			WarmupSet:   true,
-			Seed:        cfg.DefaultSeed,
-			Parallelism: cfg.Workers,
-			Out:         expOut,
+			Accesses:        cfg.DefaultAccesses,
+			Warmup:          warmup,
+			WarmupSet:       true,
+			Seed:            cfg.DefaultSeed,
+			Parallelism:     cfg.Workers,
+			Out:             expOut,
+			TraceCacheBytes: cfg.TraceCacheBytes,
+			TraceCache:      traceCache,
 		}),
-		expOut:  expOut,
-		baseCtx: ctx,
-		cancel:  cancel,
-		jobs:    make(map[string]*Job),
-		pending: make(map[string]*Job),
+		expOut:     expOut,
+		traceCache: traceCache,
+		baseCtx:    ctx,
+		cancel:     cancel,
+		jobs:       make(map[string]*Job),
+		pending:    make(map[string]*Job),
 	}
 	return s
 }
@@ -153,6 +171,15 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Store exposes the result store.
 func (s *Server) Store() *Store { return s.store }
+
+// TraceCacheStats snapshots the shared trace materialization cache; all
+// zeros when the cache is disabled.
+func (s *Server) TraceCacheStats() experiments.TraceCacheStats {
+	if s.traceCache == nil {
+		return experiments.TraceCacheStats{}
+	}
+	return s.traceCache.Stats()
+}
 
 // Start launches the worker pool.
 func (s *Server) Start() {
@@ -298,11 +325,13 @@ func (s *Server) runJob(j *Job) {
 
 	var lastReported uint64
 	suite := experiments.NewSuite(experiments.Options{
-		Accesses:    j.Spec.Accesses,
-		Warmup:      *j.Spec.Warmup,
-		WarmupSet:   true,
-		Seed:        j.Spec.Seed,
-		Parallelism: 1,
+		Accesses:        j.Spec.Accesses,
+		Warmup:          *j.Spec.Warmup,
+		WarmupSet:       true,
+		Seed:            j.Spec.Seed,
+		Parallelism:     1,
+		TraceCacheBytes: s.cfg.TraceCacheBytes,
+		TraceCache:      s.traceCache,
 		Progress: func(_ string, done uint64) {
 			j.progress.Store(done)
 			// One worker goroutine drives the whole job, so the delta

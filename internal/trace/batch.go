@@ -1,0 +1,118 @@
+package trace
+
+// BatchSource is a Source that can also deliver accesses in bulk, letting
+// the hierarchy driver pull thousands of accesses per call instead of one
+// interface dispatch each. Every source this package ships implements it;
+// scalar Next remains the contract for foreign implementations.
+type BatchSource interface {
+	Source
+	// NextBatch fills dst with the next accesses of the stream and returns
+	// how many were written. The sequence is exactly what repeated Next
+	// calls would produce; a short count (< len(dst)) means a Next call at
+	// that point would have returned ok=false, and callers must treat it
+	// as end of stream.
+	NextBatch(dst []Access) int
+}
+
+// FillBatch pulls up to len(dst) accesses from s: through NextBatch when s
+// implements BatchSource, through scalar Next otherwise. The return
+// contract is NextBatch's.
+func FillBatch(s Source, dst []Access) int {
+	if bs, ok := s.(BatchSource); ok {
+		return bs.NextBatch(dst)
+	}
+	for i := range dst {
+		a, ok := s.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = a
+	}
+	return len(dst)
+}
+
+// NextBatch implements BatchSource: the limit applies to the batch as a
+// whole, so a limiter over a BatchSource stays on the bulk path.
+func (l *limiter) NextBatch(dst []Access) int {
+	if l.left < uint64(len(dst)) {
+		dst = dst[:l.left]
+	}
+	k := FillBatch(l.s, dst)
+	l.left -= uint64(k)
+	return k
+}
+
+// NextBatch implements BatchSource. Mixtures are unbounded, so the batch
+// always fills.
+func (m *Mix) NextBatch(dst []Access) int {
+	for i := range dst {
+		dst[i], _ = m.Next()
+	}
+	return len(dst)
+}
+
+// NextBatch implements BatchSource.
+func (p *Phased) NextBatch(dst []Access) int {
+	for i := range dst {
+		a, ok := p.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = a
+	}
+	return len(dst)
+}
+
+// NextBatch implements BatchSource.
+func (r *Reader) NextBatch(dst []Access) int {
+	for i := range dst {
+		a, ok := r.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = a
+	}
+	return len(dst)
+}
+
+// NextBatch implements BatchSource. A single-source interleave delegates
+// to the inner source's batch path; the multi-source round robin is
+// inherently per-access.
+func (iv *Interleave) NextBatch(dst []Access) int {
+	if len(iv.srcs) == 1 {
+		return FillBatch(iv.srcs[0], dst)
+	}
+	for i := range dst {
+		a, ok := iv.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = a
+	}
+	return len(dst)
+}
+
+// NextBatchWithCore is the batched core-tagged variant of NextWithCore:
+// cores[i] receives the index of the source that produced dst[i]. Both
+// slices must have equal length.
+func (iv *Interleave) NextBatchWithCore(dst []Access, cores []int) int {
+	if len(cores) != len(dst) {
+		panic("trace: NextBatchWithCore needs len(cores) == len(dst)")
+	}
+	if len(iv.srcs) == 1 {
+		k := FillBatch(iv.srcs[0], dst)
+		for i := 0; i < k; i++ {
+			cores[i] = 0
+		}
+		return k
+	}
+	for i := range dst {
+		a, c, ok := iv.NextWithCore()
+		if !ok {
+			return i
+		}
+		dst[i] = a
+		cores[i] = c
+	}
+	return len(dst)
+}

@@ -1,0 +1,228 @@
+// Batched/scalar equivalence: for every source the simulator consumes, the
+// NextBatch stream must be exactly the Next stream. The tests live in an
+// external test package so they can drive the real shipped workloads.
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// collectScalar pulls n accesses one Next call at a time.
+func collectScalar(s trace.Source, n int) []trace.Access {
+	out := make([]trace.Access, 0, n)
+	for len(out) < n {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// collectBatched pulls n accesses through FillBatch in the given chunk
+// size, honouring the short-count-is-EOF contract.
+func collectBatched(s trace.Source, n, chunk int) []trace.Access {
+	out := make([]trace.Access, 0, n)
+	buf := make([]trace.Access, chunk)
+	for len(out) < n {
+		want := n - len(out)
+		if want > chunk {
+			want = chunk
+		}
+		k := trace.FillBatch(s, buf[:want])
+		out = append(out, buf[:k]...)
+		if k < want {
+			break
+		}
+	}
+	return out
+}
+
+// batchSizes deliberately straddles the sizes the consumers use: single
+// access, odd small chunks, and the hierarchy driver's 4096.
+var batchSizes = []int{1, 3, 64, 1000, 4096}
+
+// TestWorkloadBatchEquivalence checks every shipped benchmark generator:
+// its batched stream is bit-identical to its scalar stream at every batch
+// size.
+func TestWorkloadBatchEquivalence(t *testing.T) {
+	const n = 20_000
+	for _, name := range workloads.Names() {
+		spec, _ := workloads.ByName(name)
+		want := collectScalar(spec.Build(11), n)
+		if len(want) != n {
+			t.Fatalf("%s: generator ended early (%d accesses)", name, len(want))
+		}
+		for _, bs := range batchSizes {
+			got := collectBatched(spec.Build(11), n, bs)
+			if len(got) != len(want) {
+				t.Fatalf("%s batch=%d: %d accesses, want %d", name, bs, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s batch=%d: access %d = %+v, want %+v", name, bs, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLimitBatchEquivalence checks the limiter's batch path, including
+// exhaustion exactly at and across batch boundaries.
+func TestLimitBatchEquivalence(t *testing.T) {
+	spec, _ := workloads.ByName("soplex")
+	for _, limit := range []uint64{0, 1, 4095, 4096, 4097, 10_000} {
+		want := collectScalar(trace.Limit(spec.Build(3), limit), int(limit)+10)
+		if uint64(len(want)) != limit {
+			t.Fatalf("limit %d: scalar yielded %d", limit, len(want))
+		}
+		for _, bs := range batchSizes {
+			got := collectBatched(trace.Limit(spec.Build(3), limit), int(limit)+10, bs)
+			if len(got) != len(want) {
+				t.Fatalf("limit %d batch=%d: %d accesses, want %d", limit, bs, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("limit %d batch=%d: access %d differs", limit, bs, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPhasedBatchEquivalence drives Phased through both paths.
+func TestPhasedBatchEquivalence(t *testing.T) {
+	build := func() trace.Source {
+		spec, _ := workloads.ByName("milc")
+		spec2, _ := workloads.ByName("mcf")
+		return trace.NewPhased(
+			trace.Phase{Source: spec.Build(5), Len: 1000},
+			trace.Phase{Source: spec2.Build(6), Len: 700},
+		)
+	}
+	const n = 5000
+	want := collectScalar(build(), n)
+	for _, bs := range batchSizes {
+		got := collectBatched(build(), n, bs)
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d: %d accesses, want %d", bs, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d: access %d differs", bs, i)
+			}
+		}
+	}
+}
+
+// boundedSource yields addr 0,64,128,... for n accesses then drains — a
+// finite source for exercising Interleave exhaustion mid-batch.
+type boundedSource struct {
+	i, n uint64
+}
+
+func (b *boundedSource) Next() (trace.Access, bool) {
+	if b.i >= b.n {
+		return trace.Access{}, false
+	}
+	a := trace.Access{Addr: mem.Addr(b.i * 64), Gap: uint32(b.i % 7)}
+	b.i++
+	return a, true
+}
+
+// TestInterleaveBatchEquivalence compares Next/NextWithCore against their
+// batched variants, for one source (the delegating fast path) and for a
+// round robin whose sources drain at different times.
+func TestInterleaveBatchEquivalence(t *testing.T) {
+	type tagged struct {
+		a trace.Access
+		c int
+	}
+	build := func(single bool) *trace.Interleave {
+		if single {
+			return trace.NewInterleave(&boundedSource{n: 9000})
+		}
+		return trace.NewInterleave(&boundedSource{n: 9000}, &boundedSource{n: 4000})
+	}
+	for _, single := range []bool{true, false} {
+		// Scalar reference, tags included.
+		var want []tagged
+		iv := build(single)
+		for {
+			a, c, ok := iv.NextWithCore()
+			if !ok {
+				break
+			}
+			want = append(want, tagged{a, c})
+		}
+
+		for _, bs := range batchSizes {
+			// Untagged batch path against the untagged projection.
+			got := collectBatched(build(single), len(want)+10, bs)
+			if len(got) != len(want) {
+				t.Fatalf("single=%v batch=%d: %d accesses, want %d", single, bs, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i].a {
+					t.Fatalf("single=%v batch=%d: access %d differs", single, bs, i)
+				}
+			}
+
+			// Tagged batch path.
+			iv := build(single)
+			dst := make([]trace.Access, bs)
+			cores := make([]int, bs)
+			var gotTagged []tagged
+			for {
+				k := iv.NextBatchWithCore(dst, cores)
+				for i := 0; i < k; i++ {
+					gotTagged = append(gotTagged, tagged{dst[i], cores[i]})
+				}
+				if k < bs {
+					break
+				}
+			}
+			if len(gotTagged) != len(want) {
+				t.Fatalf("single=%v batch=%d tagged: %d accesses, want %d", single, bs, len(gotTagged), len(want))
+			}
+			for i := range want {
+				if gotTagged[i] != want[i] {
+					t.Fatalf("single=%v batch=%d tagged: access %d = %+v, want %+v",
+						single, bs, i, gotTagged[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReplayBatchEquivalence checks the materialized-buffer cursor: its
+// scalar and batched streams both reproduce the recorded source.
+func TestReplayBatchEquivalence(t *testing.T) {
+	spec, _ := workloads.ByName("sphinx3")
+	const n = 30_000
+	want := collectScalar(spec.Build(9), n)
+	buf := trace.Record(spec.Build(9), n)
+	if buf.Len() != n {
+		t.Fatalf("recorded %d accesses, want %d", buf.Len(), n)
+	}
+	scalar := collectScalar(buf.Replay(), n+10)
+	if len(scalar) != n {
+		t.Fatalf("scalar replay yielded %d", len(scalar))
+	}
+	for _, bs := range batchSizes {
+		got := collectBatched(buf.Replay(), n+10, bs)
+		if len(got) != n {
+			t.Fatalf("batch=%d: replay yielded %d", bs, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] || scalar[i] != want[i] {
+				t.Fatalf("batch=%d: access %d differs from recorded source", bs, i)
+			}
+		}
+	}
+}

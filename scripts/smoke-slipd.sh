@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # Smoke test for the slipd daemon: build, start, health-check, submit one
 # run, poll to completion, assert a non-empty result, verify the result
-# store answers an identical POST, and drain cleanly on SIGTERM.
+# store answers an identical POST, check the trace cache and the pprof
+# listener, and drain cleanly on SIGTERM.
 set -euo pipefail
 
 ADDR="${SLIPD_ADDR:-127.0.0.1:18080}"
+PPROF_ADDR="${SLIPD_PPROF_ADDR:-127.0.0.1:18081}"
 BASE="http://$ADDR"
 BIN="$(mktemp -d)/slipd"
 
 cd "$(dirname "$0")/.."
 go build -o "$BIN" ./cmd/slipd
 
-"$BIN" -addr "$ADDR" -accesses 20000 -warmup 20000 -queue 8 -store 16 &
+"$BIN" -addr "$ADDR" -accesses 20000 -warmup 20000 -queue 8 -store 16 \
+  -pprof-addr "$PPROF_ADDR" &
 PID=$!
 cleanup() { kill "$PID" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -50,6 +53,42 @@ curl -fsS "$BASE/metrics" | grep -q '^slipd_result_cache_hits_total 1$' || {
   echo "cache hit not visible in /metrics"; exit 1
 }
 echo "result store hit confirmed via /metrics"
+
+# A different policy over the same workload/seed must replay the already
+# materialized trace: the trace cache reports the first job's miss and this
+# job's hit, with a non-zero retained footprint.
+REQ2='{"workload":"milc","policy":"slip","seed":7}'
+ID2=$(curl -fsS -X POST -d "$REQ2" "$BASE/v1/runs" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$ID2" ] || { echo "no job id for second policy"; exit 1; }
+for _ in $(seq 1 300); do
+  B2=$(curl -fsS "$BASE/v1/runs/$ID2")
+  case "$B2" in
+    *'"state":"completed"'*) break ;;
+    *'"state":"failed"'* | *'"state":"cancelled"'*) echo "second policy job did not complete: $B2"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -Eq '^slip_trace_cache_hits [1-9]' || {
+  echo "no trace cache hit in /metrics"; exit 1
+}
+echo "$METRICS" | grep -Eq '^slip_trace_cache_misses [1-9]' || {
+  echo "no trace cache miss in /metrics"; exit 1
+}
+echo "$METRICS" | grep -Eq '^slip_trace_cache_bytes [1-9]' || {
+  echo "trace cache retains no bytes per /metrics"; exit 1
+}
+echo "trace cache hit/miss/bytes confirmed via /metrics"
+
+# The opt-in pprof listener must serve the profile index on its own
+# address, never on the API address.
+curl -fsS "http://$PPROF_ADDR/debug/pprof/" | grep -qi profile || {
+  echo "pprof index not served on $PPROF_ADDR"; exit 1
+}
+curl -fsS "$BASE/debug/pprof/" >/dev/null 2>&1 && {
+  echo "pprof exposed on the API address"; exit 1
+}
+echo "pprof listener confirmed on $PPROF_ADDR"
 
 # A full declarative spec — every field of the canonical run description,
 # including a policy alias, knobs and an explicit DRAM block — must decode,
