@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hier"
+	"repro/internal/spec"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -321,6 +322,78 @@ func BenchmarkSampling(b *testing.B) {
 			Benchmarks: []string{"xalancbmk"},
 		})
 		s.Sampling()
+	}
+}
+
+// warmedSystem builds a SLIP+ABP system with n accesses of warmup — the
+// state Snapshot/Restore operate on in the warm-cache hot path.
+func warmedSystem(n uint64) *hier.System {
+	spec, _ := workloads.ByName("soplex")
+	sys := hier.New(hier.Config{Policy: hier.SLIPABP, Seed: 7})
+	sys.Run(trace.Limit(spec.Build(7), n))
+	sys.ResetStats()
+	return sys
+}
+
+// BenchmarkSnapshot measures deep-copying a warmed hierarchy — the
+// one-time cost a warm-cache miss adds on top of simulating the warmup.
+func BenchmarkSnapshot(b *testing.B) {
+	sys := warmedSystem(500_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Snapshot()
+	}
+}
+
+// BenchmarkRestore measures materializing a system from a snapshot — the
+// per-run cost a warm-cache hit pays instead of re-simulating the warmup.
+func BenchmarkRestore(b *testing.B) {
+	snap := warmedSystem(500_000).Snapshot()
+	target := hier.New(hier.Config{Policy: hier.SLIPABP, Seed: 7})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target.Restore(snap)
+	}
+}
+
+// BenchmarkWarmCacheMatrix times a benchmark x policy matrix that is
+// simulated once and then re-measured at a second window, with the
+// warm-state snapshot cache off and on — the wall-clock win the cache buys
+// whenever runs repeat a warmup identity (repeated suites, slipd jobs,
+// extra measured windows).
+func BenchmarkWarmCacheMatrix(b *testing.B) {
+	matrix := func(s *experiments.Suite, accesses uint64) {
+		var specs []experiments.RunSpec
+		for _, wl := range []string{"soplex", "milc"} {
+			for _, p := range []hier.PolicyKind{hier.Baseline, hier.SLIPABP} {
+				sp := spec.Single(wl, p)
+				sp.Accesses = accesses
+				specs = append(specs, sp)
+			}
+		}
+		s.Prefetch(specs)
+	}
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := experiments.Options{
+					Warmup: 120_000, WarmupSet: true, Seed: 7, Parallelism: 2,
+				}
+				if !on {
+					opts.WarmCacheBytes = -1
+				}
+				s := experiments.NewSuite(opts)
+				matrix(s, 60_000)
+				matrix(s, 30_000) // distinct window, same warmup identities
+			}
+		})
 	}
 }
 

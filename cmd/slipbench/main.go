@@ -6,6 +6,7 @@
 //
 //	slipbench [-exp all|fig1,fig3,table2,htree,fig9,...] [-accesses N]
 //	          [-seed N] [-benchmarks a,b,c] [-parallel N]
+//	          [-trace-cache-mb 256] [-warm-cache-mb 256]
 //	slipbench -exp tech22 -dump-spec     # print the experiments' specs as JSON
 //	slipbench -spec runs.json            # simulate a spec list from a file
 //
@@ -76,6 +77,8 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for simulations (1 = sequential)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the selected experiments' canonical run specs as JSON and exit")
 		specIn   = flag.String("spec", "", "simulate a JSON spec list from this file instead of -exp ('-' for stdin)")
+		traceMB  = flag.Int64("trace-cache-mb", 256, "trace materialization cache budget in MiB (0 disables)")
+		warmMB   = flag.Int64("warm-cache-mb", 256, "warm-state snapshot cache budget in MiB (0 disables)")
 	)
 	flag.Parse()
 
@@ -98,7 +101,20 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Accesses: *acc, Seed: *seed, Parallelism: *parallel, Out: os.Stdout}
+	if *traceMB < 0 || *warmMB < 0 {
+		fmt.Fprintln(os.Stderr, "slipbench: cache budgets must be >= 0 MiB (0 disables)")
+		os.Exit(2)
+	}
+	mb := func(v int64) int64 { // 0 MiB means off; Options uses -1 for off
+		if v == 0 {
+			return -1
+		}
+		return v << 20
+	}
+	opts := experiments.Options{
+		Accesses: *acc, Seed: *seed, Parallelism: *parallel, Out: os.Stdout,
+		TraceCacheBytes: mb(*traceMB), WarmCacheBytes: mb(*warmMB),
+	}
 	if *warmup >= 0 {
 		opts.Warmup = uint64(*warmup)
 		opts.WarmupSet = true

@@ -9,7 +9,8 @@
 //	slipd [-addr :8080] [-workers N] [-queue N] [-store N]
 //	      [-accesses N] [-warmup N] [-seed N]
 //	      [-job-timeout 5m] [-drain-timeout 30s]
-//	      [-trace-cache-mb 256] [-pprof-addr 127.0.0.1:6060]
+//	      [-trace-cache-mb 256] [-warm-cache-mb 256]
+//	      [-pprof-addr 127.0.0.1:6060]
 //
 // -pprof-addr (off by default) serves net/http/pprof on a separate
 // listener, so daemon hot paths can be profiled in place without exposing
@@ -46,6 +47,7 @@ func main() {
 		jobTO    = flag.Duration("job-timeout", 5*time.Minute, "per-job deadline; expired jobs report cancelled")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 		traceMB  = flag.Int64("trace-cache-mb", 256, "trace materialization cache budget in MiB (0 disables)")
+		warmMB   = flag.Int64("warm-cache-mb", 256, "warm-state snapshot cache budget in MiB (0 disables)")
 		pprofFl  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
@@ -75,6 +77,9 @@ func main() {
 	if *traceMB < 0 {
 		fail("-trace-cache-mb must be >= 0 (got %d)", *traceMB)
 	}
+	if *warmMB < 0 {
+		fail("-warm-cache-mb must be >= 0 (got %d)", *warmMB)
+	}
 	if err := workloads.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -98,6 +103,11 @@ func main() {
 		cfg.TraceCacheBytes = -1 // disabled
 	} else {
 		cfg.TraceCacheBytes = *traceMB << 20
+	}
+	if *warmMB == 0 {
+		cfg.WarmCacheBytes = -1 // disabled
+	} else {
+		cfg.WarmCacheBytes = *warmMB << 20
 	}
 
 	srv := service.New(cfg)

@@ -7,6 +7,7 @@
 //	slipsim -workload soplex -policy slip+abp [-accesses N] [-warmup N]
 //	        [-seed N] [-cores 2 -workload2 mcf] [-rrip] [-binbits 4]
 //	        [-tech 22nm] [-topology h-tree] [-cpuprofile cpu.out]
+//	        [-trace-cache] [-warm-cache]
 //	slipsim -spec run.json                       # run a declarative spec file
 //	slipsim -workload mcf -dump-spec             # print the canonical spec
 //	slipsim -trace file.trc -policy baseline     # replay a tracegen file
@@ -56,6 +57,7 @@ func main() {
 		dumpSpec = flag.Bool("dump-spec", false, "print the canonical spec JSON for the given flags and exit")
 		traceIn  = flag.String("trace", "", "replay a binary trace file instead of a workload")
 		useTC    = flag.Bool("trace-cache", false, "materialize each trace once and replay it (as the experiment engine does); results are bit-identical")
+		useWC    = flag.Bool("warm-cache", false, "warm a separate hierarchy and measure on a snapshot clone (the experiment engine's warm-cache path); results are bit-identical")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
@@ -155,7 +157,17 @@ func main() {
 		}
 		return out
 	}
-	if *c.Warmup > 0 {
+	switch {
+	case *useWC && *c.Warmup > 0:
+		// The experiment engine's warm-cache path: warm a separate
+		// hierarchy, snapshot it, and measure on a materialized clone. The
+		// sources were advanced by the warmup run, so the clone sees the
+		// same measured stream a warmed-in-place system would.
+		ws := hier.New(cfg)
+		ws.Run(limit(*c.Warmup)...)
+		ws.ResetStats()
+		sys = ws.Snapshot().System()
+	case *c.Warmup > 0:
 		sys.Run(limit(*c.Warmup)...)
 		sys.ResetStats()
 	}

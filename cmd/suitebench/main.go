@@ -15,11 +15,22 @@
 //     against all five policies) with the trace materialization cache off
 //     and on at the same parallelism, written to BENCH_replay.json.
 //
+//   - a worker sweep of the matrix (wall-clock and speedup per worker
+//     count) plus the warm-state snapshot cache off/on timing of a
+//     re-measured matrix, written to BENCH_scaling.json.
+//
 // Usage:
 //
 //	suitebench [-accesses N] [-warmup N] [-benchmarks a,b,c]
 //	           [-parallel N] [-out BENCH_suite.json]
 //	           [-replay-benchmarks a,b,c] [-replay-out BENCH_replay.json]
+//	           [-scaling-workers 1,2,4,8,16] [-scaling-out BENCH_scaling.json]
+//	           [-mutexprofile mutex.out] [-blockprofile block.out]
+//
+// -mutexprofile and -blockprofile (mirroring slipsim's -cpuprofile) record
+// lock contention and goroutine blocking across all passes, so whatever
+// serializes the worker pool is diagnosable straight from the CLI:
+// `go tool pprof -top mutex.out`.
 package main
 
 import (
@@ -28,11 +39,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/hier"
+	"repro/internal/spec"
 	"repro/internal/workloads"
 )
 
@@ -80,6 +94,44 @@ type replayResult struct {
 	TraceCacheBytes  int64  `json:"trace_cache_bytes"`
 }
 
+// scalingResult is the JSON schema of BENCH_scaling.json: the worker
+// sweep over the benchmark x policy matrix, plus the warm-state snapshot
+// cache off/on timing of a re-measured matrix.
+type scalingResult struct {
+	Benchmarks     string `json:"benchmarks"`
+	Policies       string `json:"policies"`
+	MatrixRuns     int    `json:"matrix_runs"`
+	AccessesPerRun uint64 `json:"accesses_per_run"`
+	WarmupPerRun   uint64 `json:"warmup_per_run"`
+
+	// The hardware context the sweep ran under. Speedup beyond 1.0 needs
+	// real cores: a 1-CPU container caps every worker count at ~1.0x no
+	// matter how parallel the engine is, so readers must interpret the
+	// sweep against NumCPU.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+
+	Sweep []scalingPoint `json:"sweep"`
+
+	// Warm-state snapshot cache: the same matrix measured at a second,
+	// distinct window (so every run repeats its warmup identity but not
+	// its memo key), warm cache off vs on.
+	WarmSecondWindowRuns int     `json:"warm_second_window_runs"`
+	WarmOffSecondPassNs  int64   `json:"warm_off_second_pass_ns"`
+	WarmOnSecondPassNs   int64   `json:"warm_on_second_pass_ns"`
+	WarmSpeedup          float64 `json:"warm_speedup"`
+	WarmCacheHits        uint64  `json:"warm_cache_hits"`
+	WarmCacheMisses      uint64  `json:"warm_cache_misses"`
+	WarmCacheBytes       int64   `json:"warm_cache_bytes"`
+}
+
+// scalingPoint is one worker count of the sweep.
+type scalingPoint struct {
+	Workers int     `json:"workers"`
+	WallNs  int64   `json:"wall_ns"`
+	Speedup float64 `json:"speedup"` // vs. the first (lowest) worker count
+}
+
 // timeMatrix simulates the matrix on a fresh suite and returns wall-clock
 // plus the suite (so callers can read its trace-cache stats).
 func timeMatrix(opts experiments.Options, pols []hier.PolicyKind) (time.Duration, *experiments.Suite) {
@@ -99,6 +151,10 @@ func main() {
 		out      = flag.String("out", "BENCH_suite.json", "output JSON path")
 		replayB  = flag.String("replay-benchmarks", "", "benchmark set for the replay pass (default: all, the fig9 matrix)")
 		replayO  = flag.String("replay-out", "BENCH_replay.json", "replay benchmark output JSON path (empty skips the pass)")
+		scaleW   = flag.String("scaling-workers", "1,2,4,8,16", "comma-separated worker counts for the scaling sweep")
+		scaleO   = flag.String("scaling-out", "BENCH_scaling.json", "scaling sweep output JSON path (empty skips the pass)")
+		mutexPro = flag.String("mutexprofile", "", "write a mutex contention profile covering all passes to this file")
+		blockPro = flag.String("blockprofile", "", "write a goroutine blocking profile covering all passes to this file")
 	)
 	flag.Parse()
 
@@ -124,21 +180,65 @@ func main() {
 			fail("unknown benchmark %q (see slipbench -list)", b)
 		}
 	}
+	var sweepWorkers []int
+	if *scaleO != "" {
+		for _, f := range strings.Split(*scaleW, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || w < 1 {
+				fail("-scaling-workers must list positive integers (got %q)", f)
+			}
+			sweepWorkers = append(sweepWorkers, w)
+		}
+		if len(sweepWorkers) == 0 {
+			fail("-scaling-workers must name at least one worker count")
+		}
+	}
+
+	// Contention profiling spans every pass below; the profiles are written
+	// on the way out. The sampling rates follow the runtime/pprof guidance:
+	// cheap enough to leave on for a whole bench run, dense enough that a
+	// lock that serializes the pool is unmissable.
+	if *mutexPro != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if *blockPro != "" {
+		runtime.SetBlockProfileRate(100_000) // one sample per 100 us blocked
+	}
+	writeProfile := func(name, path string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s profile to %s\n", name, path)
+	}
+	defer func() {
+		writeProfile("mutex", *mutexPro)
+		writeProfile("block", *blockPro)
+	}()
 
 	// Single-thread hot-path throughput (the BenchmarkSimulatorThroughput
 	// configuration: soplex under SLIP+ABP).
-	spec, ok := workloads.ByName("soplex")
+	wlSpec, ok := workloads.ByName("soplex")
 	if !ok {
 		fmt.Fprintln(os.Stderr, "soplex workload missing")
 		os.Exit(1)
 	}
 	sys := hier.New(hier.Config{Policy: hier.SLIPABP, Seed: 1})
-	src := spec.Build(1)
+	src := wlSpec.Build(1)
 	start := time.Now()
 	for i := uint64(0); i < *single; i++ {
 		a, ok := src.Next()
 		if !ok { // workload generators are unbounded, but stay honest
-			src = spec.Build(1)
+			src = wlSpec.Build(1)
 			a, _ = src.Next()
 		}
 		sys.Access(0, a)
@@ -148,13 +248,13 @@ func main() {
 	// Generator-only pass over the same stream: the trace-generation share
 	// of a run, i.e. the per-access cost the materialization cache removes
 	// from every replayed run.
-	gsrc := spec.Build(1)
+	gsrc := wlSpec.Build(1)
 	var sink uint64
 	genStart := time.Now()
 	for i := uint64(0); i < *single; i++ {
 		a, ok := gsrc.Next()
 		if !ok {
-			gsrc = spec.Build(1)
+			gsrc = wlSpec.Build(1)
 			a, _ = gsrc.Next()
 		}
 		sink += uint64(a.Addr)
@@ -220,70 +320,161 @@ func main() {
 		*parallel, res.Speedup)
 	fmt.Printf("wrote %s\n", *out)
 
-	if *replayO == "" {
-		return
-	}
-
-	// Replay pass: the fig9 matrix (every benchmark x all five policies),
-	// cache off then cache on, at the same parallelism. The off pass is the
-	// regenerate-per-run behaviour; the on pass materializes each workload
-	// trace once and replays it for the other four policies.
-	rbset := workloads.Names()
-	rbNames := strings.Join(rbset, ",")
-	if *replayB != "" {
-		rbset = strings.Split(*replayB, ",")
-		for _, b := range rbset {
-			if _, ok := workloads.ByName(b); !ok {
-				fail("unknown replay benchmark %q (see slipbench -list)", b)
-			}
-		}
-		rbNames = *replayB
-	}
 	rpols := []hier.PolicyKind{hier.Baseline, hier.NuRAPID, hier.LRUPEA, hier.SLIP, hier.SLIPABP}
 	polNames := make([]string, len(rpols))
 	for i, p := range rpols {
 		polNames[i] = fmt.Sprint(p)
 	}
-	ropts := experiments.Options{
-		Accesses:    *acc,
-		Warmup:      *warm,
-		WarmupSet:   true,
-		Seed:        7,
-		Benchmarks:  rbset,
-		Parallelism: *parallel,
-	}
-	offOpts := ropts
-	offOpts.TraceCacheBytes = -1 // disable materialization
-	off, _ := timeMatrix(offOpts, rpols)
-	on, onSuite := timeMatrix(ropts, rpols)
 
-	rres := replayResult{
-		MatrixRuns:          len(rbset) * len(rpols),
-		Benchmarks:          rbNames,
-		Policies:            strings.Join(polNames, ","),
-		AccessesPerRun:      *acc,
-		WarmupPerRun:        *warm,
-		Parallelism:         *parallel,
-		CacheOffNs:          off.Nanoseconds(),
-		CacheOnNs:           on.Nanoseconds(),
-		TraceGenNsPerAccess: genNs,
-		SimNsPerAccess:      res.SingleThreadNsPerAccess,
+	if *replayO != "" {
+		// Replay pass: the fig9 matrix (every benchmark x all five
+		// policies), cache off then cache on, at the same parallelism. The
+		// off pass is the regenerate-per-run behaviour; the on pass
+		// materializes each workload trace once and replays it for the
+		// other four policies.
+		rbset := workloads.Names()
+		rbNames := strings.Join(rbset, ",")
+		if *replayB != "" {
+			rbset = strings.Split(*replayB, ",")
+			for _, b := range rbset {
+				if _, ok := workloads.ByName(b); !ok {
+					fail("unknown replay benchmark %q (see slipbench -list)", b)
+				}
+			}
+			rbNames = *replayB
+		}
+		ropts := experiments.Options{
+			Accesses:    *acc,
+			Warmup:      *warm,
+			WarmupSet:   true,
+			Seed:        7,
+			Benchmarks:  rbset,
+			Parallelism: *parallel,
+		}
+		offOpts := ropts
+		offOpts.TraceCacheBytes = -1 // disable materialization
+		off, _ := timeMatrix(offOpts, rpols)
+		on, onSuite := timeMatrix(ropts, rpols)
+
+		rres := replayResult{
+			MatrixRuns:          len(rbset) * len(rpols),
+			Benchmarks:          rbNames,
+			Policies:            strings.Join(polNames, ","),
+			AccessesPerRun:      *acc,
+			WarmupPerRun:        *warm,
+			Parallelism:         *parallel,
+			CacheOffNs:          off.Nanoseconds(),
+			CacheOnNs:           on.Nanoseconds(),
+			TraceGenNsPerAccess: genNs,
+			SimNsPerAccess:      res.SingleThreadNsPerAccess,
+		}
+		if on > 0 {
+			rres.Speedup = off.Seconds() / on.Seconds()
+		}
+		if res.SingleThreadNsPerAccess > 0 {
+			rres.TraceGenShare = genNs / res.SingleThreadNsPerAccess
+		}
+		if tc := onSuite.TraceCache(); tc != nil {
+			st := tc.Stats()
+			rres.TraceCacheHits = st.Hits
+			rres.TraceCacheMisses = st.Misses
+			rres.TraceCacheBytes = st.Bytes
+		}
+		writeJSON(*replayO, rres)
+		fmt.Printf("replay matrix (%d runs): cache off %v, cache on %v — %.2fx (%d traces, %.1f MiB, %d hits)\n",
+			rres.MatrixRuns, off.Round(time.Millisecond), on.Round(time.Millisecond), rres.Speedup,
+			rres.TraceCacheMisses, float64(rres.TraceCacheBytes)/(1<<20), rres.TraceCacheHits)
+		fmt.Printf("wrote %s\n", *replayO)
 	}
-	if on > 0 {
-		rres.Speedup = off.Seconds() / on.Seconds()
+
+	if *scaleO == "" {
+		return
 	}
-	if res.SingleThreadNsPerAccess > 0 {
-		rres.TraceGenShare = genNs / res.SingleThreadNsPerAccess
+
+	// Scaling pass, part 1: the benchmark x policy matrix swept over worker
+	// counts. Every point gets a fresh suite with fresh caches, so no work
+	// leaks between points; within one point both caches run at their
+	// defaults, which is what a real sweep sees.
+	sres := scalingResult{
+		Benchmarks:     *benches,
+		Policies:       strings.Join(polNames, ","),
+		MatrixRuns:     len(benchSet) * len(rpols),
+		AccessesPerRun: *acc,
+		WarmupPerRun:   *warm,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
 	}
-	if tc := onSuite.TraceCache(); tc != nil {
-		st := tc.Stats()
-		rres.TraceCacheHits = st.Hits
-		rres.TraceCacheMisses = st.Misses
-		rres.TraceCacheBytes = st.Bytes
+	sweepOpts := experiments.Options{
+		Accesses:   *acc,
+		Warmup:     *warm,
+		WarmupSet:  true,
+		Seed:       7,
+		Benchmarks: benchSet,
 	}
-	writeJSON(*replayO, rres)
-	fmt.Printf("replay matrix (%d runs): cache off %v, cache on %v — %.2fx (%d traces, %.1f MiB, %d hits)\n",
-		rres.MatrixRuns, off.Round(time.Millisecond), on.Round(time.Millisecond), rres.Speedup,
-		rres.TraceCacheMisses, float64(rres.TraceCacheBytes)/(1<<20), rres.TraceCacheHits)
-	fmt.Printf("wrote %s\n", *replayO)
+	var base time.Duration
+	for _, w := range sweepWorkers {
+		o := sweepOpts
+		o.Parallelism = w
+		wall, _ := timeMatrix(o, rpols)
+		pt := scalingPoint{Workers: w, WallNs: wall.Nanoseconds()}
+		if base == 0 {
+			base = wall
+		}
+		if wall > 0 {
+			pt.Speedup = base.Seconds() / wall.Seconds()
+		}
+		sres.Sweep = append(sres.Sweep, pt)
+		fmt.Printf("scaling: %2d workers  %8v  %.2fx\n", w, wall.Round(time.Millisecond), pt.Speedup)
+	}
+
+	// Scaling pass, part 2: warm-state snapshot cache off vs on. The matrix
+	// is simulated once, then re-measured at a second, distinct window:
+	// every second-window run repeats its warmup identity but misses the
+	// memo cache, so with the warm cache off it re-simulates its whole
+	// warmup and with it on it starts from a snapshot clone. Both passes
+	// keep the trace cache on, isolating the warmup-simulation cost.
+	secondWindow := *acc/2 + 1
+	matrixSpecs := func(accesses uint64) []experiments.RunSpec {
+		var out []experiments.RunSpec
+		for _, wl := range benchSet {
+			for _, p := range rpols {
+				sp := spec.Single(wl, p)
+				sp.Accesses = accesses
+				out = append(out, sp)
+			}
+		}
+		return out
+	}
+	timeSecondWindow := func(opts experiments.Options) (time.Duration, *experiments.Suite) {
+		s := experiments.NewSuite(opts)
+		s.Prefetch(matrixSpecs(*acc))
+		start := time.Now()
+		s.Prefetch(matrixSpecs(secondWindow))
+		return time.Since(start), s
+	}
+	wOff := sweepOpts
+	wOff.Parallelism = *parallel
+	wOff.WarmCacheBytes = -1
+	warmOff, _ := timeSecondWindow(wOff)
+	wOn := sweepOpts
+	wOn.Parallelism = *parallel
+	warmOn, warmSuite := timeSecondWindow(wOn)
+
+	sres.WarmSecondWindowRuns = len(benchSet) * len(rpols)
+	sres.WarmOffSecondPassNs = warmOff.Nanoseconds()
+	sres.WarmOnSecondPassNs = warmOn.Nanoseconds()
+	if warmOn > 0 {
+		sres.WarmSpeedup = warmOff.Seconds() / warmOn.Seconds()
+	}
+	if wc := warmSuite.WarmCache(); wc != nil {
+		st := wc.Stats()
+		sres.WarmCacheHits = st.Hits
+		sres.WarmCacheMisses = st.Misses
+		sres.WarmCacheBytes = st.Bytes
+	}
+	writeJSON(*scaleO, sres)
+	fmt.Printf("warm cache (%d re-measured runs): off %v, on %v — %.2fx (%d snapshots, %.1f MiB, %d hits)\n",
+		sres.WarmSecondWindowRuns, warmOff.Round(time.Millisecond), warmOn.Round(time.Millisecond),
+		sres.WarmSpeedup, sres.WarmCacheMisses, float64(sres.WarmCacheBytes)/(1<<20), sres.WarmCacheHits)
+	fmt.Printf("wrote %s\n", *scaleO)
 }

@@ -1,0 +1,74 @@
+package cache
+
+import "repro/internal/mem"
+
+// Clone returns a deep copy of the level: sets, packed tag/valid arrays,
+// replacement state, movement queue and statistics are all duplicated so the
+// copy can be driven independently (and concurrently) of the original. The
+// immutable pieces — Config, energy params and the reuse-distance estimator,
+// none of which mutate after New — are shared. This is the primitive behind
+// warm-state snapshots: capture a level once after warmup, then hand each
+// measured run its own copy.
+func (l *Level) Clone() *Level {
+	c := &Level{
+		cfg:     l.cfg,
+		name:    l.name,
+		numSets: l.numSets,
+		ways:    l.ways,
+		repl:    l.repl.Clone(),
+		mq:      l.mq.Clone(),
+		est:     l.est,
+		T:       l.T,
+		Stats:   l.Stats,
+	}
+	c.sets = make([][]Line, len(l.sets))
+	lines := make([]Line, l.numSets*l.ways)
+	for i := range l.sets {
+		row := lines[i*l.ways : (i+1)*l.ways : (i+1)*l.ways]
+		copy(row, l.sets[i])
+		c.sets[i] = row
+	}
+	c.tags = append([]mem.LineAddr(nil), l.tags...)
+	c.valid = append([]WayMask(nil), l.valid...)
+	c.Stats.HitsPerSublevel = append([]uint64(nil), l.Stats.HitsPerSublevel...)
+	return c
+}
+
+// SizeBytes estimates the retained footprint of a cloned level, charged by
+// byte-budgeted snapshot caches.
+func (l *Level) SizeBytes() int {
+	per := 48 // Line struct + tag + stamp/rrpv amortized
+	return l.numSets*l.ways*per + len(l.valid)*8
+}
+
+// Clone implements Repl.
+func (l *lru) Clone() Repl {
+	c := &lru{clock: l.clock}
+	c.stamp = make([][]uint64, len(l.stamp))
+	flat := make([]uint64, 0, len(l.stamp)*len(l.stamp[0]))
+	for i, row := range l.stamp {
+		flat = append(flat, row...)
+		c.stamp[i] = flat[i*len(row) : (i+1)*len(row) : (i+1)*len(row)]
+	}
+	return c
+}
+
+// Clone implements Repl.
+func (r *rrip) Clone() Repl {
+	c := &rrip{max: r.max}
+	c.rrpv = make([][]uint8, len(r.rrpv))
+	flat := make([]uint8, 0, len(r.rrpv)*len(r.rrpv[0]))
+	for i, row := range r.rrpv {
+		flat = append(flat, row...)
+		c.rrpv[i] = flat[i*len(row) : (i+1)*len(row) : (i+1)*len(row)]
+	}
+	return c
+}
+
+// Clone returns an independent copy of the queue, in-flight entries
+// included.
+func (q *MovementQueue) Clone() *MovementQueue {
+	c := *q
+	c.entries = append([]uint64(nil), q.entries...)
+	return &c
+}

@@ -19,6 +19,9 @@ type Repl interface {
 	// guarantees the mask is non-empty and all candidate ways hold valid
 	// lines (invalid ways are filled first by the level).
 	Victim(set int, mask WayMask) int
+	// Clone returns an independent deep copy of the policy state, used when
+	// snapshotting a level for warm-state reuse.
+	Clone() Repl
 }
 
 // lru is the true-LRU policy the paper evaluates with: a per-line clock

@@ -1,0 +1,9 @@
+package core
+
+// Clone returns an independent copy of the EOU. The coefficient tables,
+// SLIP enumeration and geometry are immutable after NewEOU and are shared;
+// only the operation counter is per-instance state.
+func (e *EOU) Clone() *EOU {
+	c := *e
+	return &c
+}

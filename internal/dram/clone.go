@@ -1,0 +1,8 @@
+package dram
+
+// Clone returns an independent copy of the DRAM endpoint. Parameters and
+// statistics are plain values, so a struct copy is a deep copy.
+func (d *DRAM) Clone() *DRAM {
+	c := *d
+	return &c
+}

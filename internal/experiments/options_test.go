@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestOptionsNormalize pins the one-place defaulting contract: every entry
+// point resolves Options through normalize, so these rows are the behaviour
+// of the CLI tools, the suite and the daemon alike.
+func TestOptionsNormalize(t *testing.T) {
+	sharedTC := NewTraceCache(1 << 20)
+	sharedWC := NewWarmCache(1 << 20)
+	cases := []struct {
+		name  string
+		in    Options
+		check func(t *testing.T, o Options)
+	}{
+		{"zero value takes all defaults", Options{}, func(t *testing.T, o Options) {
+			if o.Accesses != 2_000_000 {
+				t.Errorf("Accesses = %d", o.Accesses)
+			}
+			if o.Warmup != o.Accesses {
+				t.Errorf("Warmup = %d, want Accesses", o.Warmup)
+			}
+			if o.Seed != 42 {
+				t.Errorf("Seed = %d", o.Seed)
+			}
+			if len(o.Benchmarks) != len(workloads.Names()) {
+				t.Errorf("Benchmarks = %v", o.Benchmarks)
+			}
+			if o.Parallelism != runtime.GOMAXPROCS(0) {
+				t.Errorf("Parallelism = %d, want GOMAXPROCS", o.Parallelism)
+			}
+			if o.TraceCache == nil || o.TraceCache.Budget() != DefaultTraceCacheBytes {
+				t.Error("TraceCache not built with the default budget")
+			}
+			if o.WarmCache == nil || o.WarmCache.Budget() != DefaultWarmCacheBytes {
+				t.Error("WarmCache not built with the default budget")
+			}
+			if o.Out != io.Discard {
+				t.Error("Out not defaulted to io.Discard")
+			}
+		}},
+		{"explicit zero warmup is preserved", Options{Warmup: 0, WarmupSet: true}, func(t *testing.T, o Options) {
+			if o.Warmup != 0 {
+				t.Errorf("Warmup = %d, want 0 (explicitly set)", o.Warmup)
+			}
+		}},
+		{"non-positive parallelism maps to GOMAXPROCS", Options{Parallelism: -3}, func(t *testing.T, o Options) {
+			if o.Parallelism != runtime.GOMAXPROCS(0) {
+				t.Errorf("Parallelism = %d, want GOMAXPROCS", o.Parallelism)
+			}
+		}},
+		{"positive parallelism is kept", Options{Parallelism: 3}, func(t *testing.T, o Options) {
+			if o.Parallelism != 3 {
+				t.Errorf("Parallelism = %d, want 3", o.Parallelism)
+			}
+		}},
+		{"negative budgets disable both caches", Options{TraceCacheBytes: -1, WarmCacheBytes: -1}, func(t *testing.T, o Options) {
+			if o.TraceCache != nil {
+				t.Error("TraceCache built despite negative budget")
+			}
+			if o.WarmCache != nil {
+				t.Error("WarmCache built despite negative budget")
+			}
+		}},
+		{"positive budgets size private caches", Options{TraceCacheBytes: 4 << 20, WarmCacheBytes: 8 << 20}, func(t *testing.T, o Options) {
+			if o.TraceCache == nil || o.TraceCache.Budget() != 4<<20 {
+				t.Error("TraceCacheBytes not honoured")
+			}
+			if o.WarmCache == nil || o.WarmCache.Budget() != 8<<20 {
+				t.Error("WarmCacheBytes not honoured")
+			}
+		}},
+		{"shared caches win over budgets", Options{
+			TraceCache: sharedTC, TraceCacheBytes: -1,
+			WarmCache: sharedWC, WarmCacheBytes: -1,
+		}, func(t *testing.T, o Options) {
+			if o.TraceCache != sharedTC {
+				t.Error("shared TraceCache replaced")
+			}
+			if o.WarmCache != sharedWC {
+				t.Error("shared WarmCache replaced")
+			}
+		}},
+		{"explicit sizing is kept", Options{Accesses: 5, Warmup: 7, Seed: 9, Benchmarks: []string{"mcf"}}, func(t *testing.T, o Options) {
+			if o.Accesses != 5 || o.Warmup != 7 || o.Seed != 9 {
+				t.Errorf("sizing changed: %+v", o)
+			}
+			if len(o.Benchmarks) != 1 || o.Benchmarks[0] != "mcf" {
+				t.Errorf("Benchmarks = %v", o.Benchmarks)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.in
+			o.normalize()
+			tc.check(t, o)
+
+			// normalize is idempotent: a second pass changes nothing
+			// observable (cache identity included).
+			again := o
+			again.normalize()
+			if again.TraceCache != o.TraceCache || again.WarmCache != o.WarmCache ||
+				again.Accesses != o.Accesses || again.Warmup != o.Warmup ||
+				again.Parallelism != o.Parallelism {
+				t.Error("normalize is not idempotent")
+			}
+		})
+	}
+
+	// NewSuite must resolve through the same path.
+	s := NewSuite(Options{})
+	if s.Options().TraceCache == nil || s.Options().WarmCache == nil {
+		t.Error("NewSuite did not normalize its Options")
+	}
+}

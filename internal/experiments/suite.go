@@ -58,6 +58,17 @@ type Options struct {
 	// letting several suites (the slipd per-job suites) share one
 	// materialization pool. TraceCacheBytes is ignored in that case.
 	TraceCache *TraceCache
+	// WarmCacheBytes bounds the warm-state snapshot cache: the post-warmup
+	// hierarchy state of each distinct warmup identity (spec minus the
+	// measured window) is snapshotted once and cloned for every later run
+	// that shares it, skipping the warmup simulation entirely. Zero selects
+	// DefaultWarmCacheBytes; a negative value disables warm-state caching.
+	// Snapshot-seeded runs are bit-identical to straight-through ones.
+	WarmCacheBytes int64
+	// WarmCache, when non-nil, is used instead of a suite-private cache,
+	// letting several suites share one snapshot pool (the slipd per-job
+	// suites). WarmCacheBytes is ignored in that case.
+	WarmCache *WarmCache
 	// Out receives the printed tables (nil discards).
 	Out io.Writer
 	// Progress, when set, receives simulation progress: the memo key of
@@ -68,8 +79,12 @@ type Options struct {
 	Progress func(key string, done uint64)
 }
 
-// fill applies defaults.
-func (o *Options) fill() {
+// normalize applies every default in one place — sizing, seed, benchmark
+// set, worker-pool width, cache budgets, output sink — so each entry point
+// (NewSuite, the CLI tools, slipd's per-job suites) resolves an Options the
+// same way. It is idempotent: normalizing an already-normalized Options
+// changes nothing.
+func (o *Options) normalize() {
 	if o.Accesses == 0 {
 		o.Accesses = 2_000_000
 	}
@@ -87,6 +102,9 @@ func (o *Options) fill() {
 	}
 	if o.TraceCache == nil && o.TraceCacheBytes >= 0 {
 		o.TraceCache = NewTraceCache(o.TraceCacheBytes)
+	}
+	if o.WarmCache == nil && o.WarmCacheBytes >= 0 {
+		o.WarmCache = NewWarmCache(o.WarmCacheBytes)
 	}
 	if o.Out == nil {
 		o.Out = io.Discard
@@ -117,7 +135,7 @@ type Suite struct {
 
 // NewSuite builds a suite with the given options.
 func NewSuite(opts Options) *Suite {
-	opts.fill()
+	opts.normalize()
 	return &Suite{opts: opts, runs: make(map[string]*runEntry)}
 }
 
@@ -256,6 +274,10 @@ func (s *Suite) RunS(sp RunSpec) *hier.System {
 // disabled), so tools and the daemon can report its statistics.
 func (s *Suite) TraceCache() *TraceCache { return s.opts.TraceCache }
 
+// WarmCache exposes the suite's warm-state snapshot cache (nil when
+// disabled), so tools and the daemon can report its statistics.
+func (s *Suite) WarmCache() *WarmCache { return s.opts.WarmCache }
+
 // source builds core i's access stream: a replay of the materialized trace
 // when the cache is enabled, a live generator otherwise. One Replay is
 // consumed across both run phases (warmup then measured) exactly like a
@@ -288,7 +310,6 @@ func (s *Suite) simulate(ctx context.Context, key string, c spec.Spec) (*hier.Sy
 	if err != nil {
 		return nil, err // unreachable: c is canonical
 	}
-	sys := hier.New(cfg)
 	warm := *c.Warmup
 	srcs := make([]trace.Source, cfg.NumCores)
 	for i := range srcs {
@@ -305,11 +326,43 @@ func (s *Suite) simulate(ctx context.Context, key string, c spec.Spec) (*hier.Sy
 		}
 		return out
 	}
-	if warm > 0 {
+	var sys *hier.System
+	switch wc := s.opts.WarmCache; {
+	case warm > 0 && wc != nil:
+		// Warm-state path: fetch (or build, under the cache's singleflight)
+		// the post-warmup snapshot for this run's warmup identity and start
+		// from an independent clone of it.
+		ran := false
+		snap, err := wc.Get(ctx, warmCacheKey(c), func(ctx context.Context) (*hier.Snapshot, error) {
+			ran = true
+			ws := hier.New(cfg)
+			if err := ws.RunContext(ctx, s.progressFor(key, 0), limit(warm)...); err != nil {
+				return nil, err
+			}
+			ws.ResetStats()
+			return ws.Snapshot(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys = snap.System()
+		if !ran {
+			// Served from the cache: this caller's sources still stand at
+			// access zero, so skip them past the warmup the snapshot already
+			// embodies. Draining costs only trace decoding/generation, not
+			// simulation.
+			for _, src := range srcs {
+				trace.Drain(src, warm)
+			}
+		}
+	case warm > 0:
+		sys = hier.New(cfg)
 		if err := sys.RunContext(ctx, s.progressFor(key, 0), limit(warm)...); err != nil {
 			return nil, err
 		}
 		sys.ResetStats()
+	default:
+		sys = hier.New(cfg)
 	}
 	if err := sys.RunContext(ctx, s.progressFor(key, uint64(len(srcs))*warm), limit(c.Accesses)...); err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package hier
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/cache"
 	slipcore "repro/internal/core"
@@ -36,6 +37,23 @@ func (s *System) Run(srcs ...trace.Source) {
 // cancellation latency stays well under any service deadline.
 const cancelCheckEvery = 4096
 
+// runScratch pools RunContext's decode buffers. The parallel experiment
+// engine starts thousands of short runs (two RunContext calls each, warmup
+// and measurement), and a fresh ~100 KiB buffer pair per call is pure GC
+// pressure; the buffers are overwritten before every read, so reuse cannot
+// affect results.
+var runScratch = sync.Pool{New: func() any {
+	return &runBuffers{
+		batch: make([]trace.Access, cancelCheckEvery),
+		cores: make([]int, cancelCheckEvery),
+	}
+}}
+
+type runBuffers struct {
+	batch []trace.Access
+	cores []int
+}
+
 // RunContext is Run with a cancellation hook: every cancelCheckEvery
 // accesses it polls ctx (returning ctx.Err() mid-trace when cancelled) and
 // invokes progress, if non-nil, with the cumulative number of accesses
@@ -58,10 +76,12 @@ func (s *System) RunContext(ctx context.Context, progress func(done uint64), src
 	iv := trace.NewInterleave(srcs...)
 	done := ctx.Done()
 	multi := len(s.cores) > 1
-	batch := make([]trace.Access, cancelCheckEvery)
+	buffers := runScratch.Get().(*runBuffers)
+	defer runScratch.Put(buffers)
+	batch := buffers.batch
 	var cores []int
 	if multi {
-		cores = make([]int, cancelCheckEvery)
+		cores = buffers.cores
 	}
 	var n uint64
 	for {

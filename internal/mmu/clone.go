@@ -1,0 +1,47 @@
+package mmu
+
+import "repro/internal/mem"
+
+// Clone returns a deep copy of the MMU: the page table, the TLB arrays and
+// the RNG cursor are all duplicated so the copy evolves independently. PTE
+// pointer aliasing is preserved — a TLB slot in the clone points at the
+// clone's copy of the same page entry, never at the original's — which is
+// what makes a cloned system bit-identical to the original under further
+// simulation.
+func (m *MMU) Clone() *MMU {
+	c := &MMU{
+		cfg:     m.cfg,
+		lastHit: m.lastHit,
+		clock:   m.clock,
+		Stats:   m.Stats,
+	}
+	rng := *m.rng
+	c.rng = &rng
+	remap := make(map[*PTE]*PTE, len(m.pages))
+	c.pages = make(map[mem.PageID]*PTE, len(m.pages))
+	flat := make([]PTE, 0, len(m.pages))
+	for p, pte := range m.pages {
+		flat = append(flat, *pte)
+		np := &flat[len(flat)-1]
+		remap[pte] = np
+		c.pages[p] = np
+	}
+	c.tlbPages = append(make([]mem.PageID, 0, cap(m.tlbPages)), m.tlbPages...)
+	c.tlbStamps = append(make([]uint64, 0, cap(m.tlbStamps)), m.tlbStamps...)
+	c.tlbPTEs = make([]*PTE, len(m.tlbPTEs), cap(m.tlbPTEs))
+	for i, pte := range m.tlbPTEs {
+		np, ok := remap[pte]
+		if !ok {
+			panic("mmu: TLB entry points at a PTE missing from the page table")
+		}
+		c.tlbPTEs[i] = np
+	}
+	return c
+}
+
+// SizeBytes estimates the retained footprint of a cloned MMU for
+// byte-budgeted snapshot caches: the page table dominates.
+func (m *MMU) SizeBytes() int {
+	const ptePacked = 40 // PTE struct + map entry overhead
+	return len(m.pages)*ptePacked + m.cfg.TLBEntries*24
+}

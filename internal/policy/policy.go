@@ -38,6 +38,9 @@ type Driver interface {
 	// Insert places line a (with its sidecar metadata) into the level,
 	// cascading displacements per the policy, and reports the outcome.
 	Insert(l *cache.Level, a mem.LineAddr, dirty bool, meta cache.Meta) Outcome
+	// Clone returns an independent deep copy of the driver's mutable state
+	// (RNG cursors, class counters), used when snapshotting a hierarchy.
+	Clone() Driver
 }
 
 // finishEviction charges the writeback read for a dirty line leaving the

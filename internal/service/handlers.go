@@ -171,6 +171,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	ts := s.TraceCacheStats()
+	ws := s.WarmCacheStats()
 	s.metrics.WriteTo(w, Gauges{
 		QueueDepth:     s.queue.Depth,
 		QueueCap:       s.queue.Cap,
@@ -183,5 +184,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		TraceMisses:    func() uint64 { return ts.Misses },
 		TraceBytes:     func() int64 { return ts.Bytes },
 		TraceEvictions: func() uint64 { return ts.Evictions },
+		WarmHits:       func() uint64 { return ws.Hits },
+		WarmMisses:     func() uint64 { return ws.Misses },
+		WarmBytes:      func() int64 { return ws.Bytes },
+		WarmEvictions:  func() uint64 { return ws.Evictions },
 	})
 }

@@ -119,6 +119,12 @@ type Gauges struct {
 	TraceMisses    func() uint64
 	TraceBytes     func() int64
 	TraceEvictions func() uint64
+	// Warm-state snapshot cache counters (experiments.WarmCache), rendered
+	// with the same nil-as-zero convention.
+	WarmHits      func() uint64
+	WarmMisses    func() uint64
+	WarmBytes     func() int64
+	WarmEvictions func() uint64
 }
 
 // WriteTo renders the registry in Prometheus text exposition format.
@@ -178,6 +184,13 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	gauge("slip_trace_cache_misses", "Runs that had to generate and record their trace.", u64(g.TraceMisses))
 	gauge("slip_trace_cache_bytes", "Encoded trace bytes currently retained.", i64(g.TraceBytes))
 	gauge("slip_trace_cache_evictions", "Traces evicted by the LRU byte budget.", u64(g.TraceEvictions))
+
+	// Warm-state snapshot cache: one warmup simulated (miss) seeds every
+	// later run sharing its warmup identity (hits).
+	gauge("slip_warm_cache_hits", "Runs seeded from a cached (or in-flight) warm snapshot.", u64(g.WarmHits))
+	gauge("slip_warm_cache_misses", "Runs that had to simulate their warmup.", u64(g.WarmMisses))
+	gauge("slip_warm_cache_bytes", "Estimated snapshot bytes currently retained.", i64(g.WarmBytes))
+	gauge("slip_warm_cache_evictions", "Snapshots evicted by the LRU byte budget.", u64(g.WarmEvictions))
 
 	counter("slipd_sim_accesses_total", "Memory accesses simulated across all jobs.", float64(m.accessesTotal))
 	perSec := 0.0

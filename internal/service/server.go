@@ -39,6 +39,13 @@ type Config struct {
 	// results). Zero selects experiments.DefaultTraceCacheBytes; negative
 	// disables materialization.
 	TraceCacheBytes int64
+	// WarmCacheBytes bounds the warm-state snapshot cache shared the same
+	// way: the post-warmup hierarchy state of each warmup identity is
+	// simulated once and cloned by every later run sharing it
+	// (bit-identical results). Zero selects
+	// experiments.DefaultWarmCacheBytes; negative disables warm-state
+	// caching.
+	WarmCacheBytes int64
 	// Log receives operational messages (default: discard).
 	Log *log.Logger
 }
@@ -111,6 +118,11 @@ type Server struct {
 	// generates each trace once. Nil when disabled by config.
 	traceCache *experiments.TraceCache
 
+	// warmCache is shared the same way: jobs differing only in their
+	// measured window reuse one warm snapshot instead of re-simulating the
+	// warmup. Nil when disabled by config.
+	warmCache *experiments.WarmCache
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -141,6 +153,10 @@ func New(cfg Config) *Server {
 	if cfg.TraceCacheBytes >= 0 {
 		traceCache = experiments.NewTraceCache(cfg.TraceCacheBytes)
 	}
+	var warmCache *experiments.WarmCache
+	if cfg.WarmCacheBytes >= 0 {
+		warmCache = experiments.NewWarmCache(cfg.WarmCacheBytes)
+	}
 	s := &Server{
 		cfg:     cfg,
 		queue:   NewQueue(cfg.QueueDepth),
@@ -155,9 +171,12 @@ func New(cfg Config) *Server {
 			Out:             expOut,
 			TraceCacheBytes: cfg.TraceCacheBytes,
 			TraceCache:      traceCache,
+			WarmCacheBytes:  cfg.WarmCacheBytes,
+			WarmCache:       warmCache,
 		}),
 		expOut:     expOut,
 		traceCache: traceCache,
+		warmCache:  warmCache,
 		baseCtx:    ctx,
 		cancel:     cancel,
 		jobs:       make(map[string]*Job),
@@ -179,6 +198,15 @@ func (s *Server) TraceCacheStats() experiments.TraceCacheStats {
 		return experiments.TraceCacheStats{}
 	}
 	return s.traceCache.Stats()
+}
+
+// WarmCacheStats snapshots the shared warm-state snapshot cache; all zeros
+// when the cache is disabled.
+func (s *Server) WarmCacheStats() experiments.WarmCacheStats {
+	if s.warmCache == nil {
+		return experiments.WarmCacheStats{}
+	}
+	return s.warmCache.Stats()
 }
 
 // Start launches the worker pool.
@@ -332,6 +360,8 @@ func (s *Server) runJob(j *Job) {
 		Parallelism:     1,
 		TraceCacheBytes: s.cfg.TraceCacheBytes,
 		TraceCache:      s.traceCache,
+		WarmCacheBytes:  s.cfg.WarmCacheBytes,
+		WarmCache:       s.warmCache,
 		Progress: func(_ string, done uint64) {
 			j.progress.Store(done)
 			// One worker goroutine drives the whole job, so the delta

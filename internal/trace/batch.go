@@ -116,3 +116,22 @@ func (iv *Interleave) NextBatchWithCore(dst []Access, cores []int) int {
 	}
 	return len(dst)
 }
+
+// Drain advances src by up to n accesses, discarding them. It positions a
+// fresh source chain exactly where an equivalent chain stands after a run
+// consumed n accesses — the warm-state cache uses it to skip sources past a
+// warmup that a snapshot already embodies.
+func Drain(src Source, n uint64) {
+	var buf [512]Access
+	for n > 0 {
+		want := uint64(len(buf))
+		if n < want {
+			want = n
+		}
+		if k := FillBatch(src, buf[:want]); k == 0 {
+			return
+		} else {
+			n -= uint64(k)
+		}
+	}
+}

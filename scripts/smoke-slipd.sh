@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Smoke test for the slipd daemon: build, start, health-check, submit one
 # run, poll to completion, assert a non-empty result, verify the result
-# store answers an identical POST, check the trace cache and the pprof
-# listener, and drain cleanly on SIGTERM.
+# store answers an identical POST, check the trace cache, the warm-state
+# snapshot cache and the pprof listener, and drain cleanly on SIGTERM.
 set -euo pipefail
 
 ADDR="${SLIPD_ADDR:-127.0.0.1:18080}"
@@ -79,6 +79,36 @@ echo "$METRICS" | grep -Eq '^slip_trace_cache_bytes [1-9]' || {
   echo "trace cache retains no bytes per /metrics"; exit 1
 }
 echo "trace cache hit/miss/bytes confirmed via /metrics"
+
+# A run repeating an earlier job's warmup identity — same workload, policy,
+# seed and warmup, different measured window — must start from the cached
+# warm snapshot instead of re-simulating its warmup: the warm cache reports
+# the earlier jobs' misses, this job's hit, and a retained footprint.
+REQ3='{"workload":"milc","policy":"slip","seed":7,"accesses":10000}'
+ID3=$(curl -fsS -X POST -d "$REQ3" "$BASE/v1/runs" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$ID3" ] || { echo "no job id for warm-repeat run"; exit 1; }
+for _ in $(seq 1 300); do
+  B3=$(curl -fsS "$BASE/v1/runs/$ID3")
+  case "$B3" in
+    *'"state":"completed"'*) break ;;
+    *'"state":"failed"'* | *'"state":"cancelled"'*) echo "warm-repeat job did not complete: $B3"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -Eq '^slip_warm_cache_hits [1-9]' || {
+  echo "no warm cache hit in /metrics"; exit 1
+}
+echo "$METRICS" | grep -Eq '^slip_warm_cache_misses [1-9]' || {
+  echo "no warm cache miss in /metrics"; exit 1
+}
+echo "$METRICS" | grep -Eq '^slip_warm_cache_bytes [1-9]' || {
+  echo "warm cache retains no bytes per /metrics"; exit 1
+}
+echo "$METRICS" | grep -q '^slip_warm_cache_evictions ' || {
+  echo "warm cache evictions gauge missing from /metrics"; exit 1
+}
+echo "warm cache hit/miss/bytes confirmed via /metrics"
 
 # The opt-in pprof listener must serve the profile index on its own
 # address, never on the API address.
