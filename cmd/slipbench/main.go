@@ -6,7 +6,7 @@
 //
 //	slipbench [-exp all|fig1,fig3,table2,htree,fig9,...] [-accesses N]
 //	          [-seed N] [-benchmarks a,b,c] [-parallel N]
-//	          [-trace-cache-mb 256] [-warm-cache-mb 256]
+//	          [-trace-cache-mb 256] [-warm-cache-mb 256] [-sampling 8]
 //	slipbench -exp tech22 -dump-spec     # print the experiments' specs as JSON
 //	slipbench -spec runs.json            # simulate a spec list from a file
 //
@@ -79,6 +79,7 @@ func main() {
 		specIn   = flag.String("spec", "", "simulate a JSON spec list from this file instead of -exp ('-' for stdin)")
 		traceMB  = flag.Int64("trace-cache-mb", 256, "trace materialization cache budget in MiB (0 disables)")
 		warmMB   = flag.Int64("warm-cache-mb", 256, "warm-state snapshot cache budget in MiB (0 disables)")
+		sampling = flag.Int("sampling", 0, "set-sampling factor K for every run: simulate 1/K of the cache sets and extrapolate (0/1 = full fidelity; valid: 2, 4, 8, 16)")
 	)
 	flag.Parse()
 
@@ -111,9 +112,16 @@ func main() {
 		}
 		return v << 20
 	}
+	switch *sampling {
+	case 0, 1, 2, 4, 8, 16:
+	default:
+		fmt.Fprintf(os.Stderr, "slipbench: -sampling must be one of 1, 2, 4, 8, 16 (got %d)\n", *sampling)
+		os.Exit(2)
+	}
 	opts := experiments.Options{
 		Accesses: *acc, Seed: *seed, Parallelism: *parallel, Out: os.Stdout,
 		TraceCacheBytes: mb(*traceMB), WarmCacheBytes: mb(*warmMB),
+		Sampling: *sampling,
 	}
 	if *warmup >= 0 {
 		opts.Warmup = uint64(*warmup)

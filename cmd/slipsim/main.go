@@ -7,7 +7,7 @@
 //	slipsim -workload soplex -policy slip+abp [-accesses N] [-warmup N]
 //	        [-seed N] [-cores 2 -workload2 mcf] [-rrip] [-binbits 4]
 //	        [-tech 22nm] [-topology h-tree] [-cpuprofile cpu.out]
-//	        [-trace-cache] [-warm-cache]
+//	        [-trace-cache] [-warm-cache] [-sampling 8]
 //	slipsim -spec run.json                       # run a declarative spec file
 //	slipsim -workload mcf -dump-spec             # print the canonical spec
 //	slipsim -trace file.trc -policy baseline     # replay a tracegen file
@@ -56,6 +56,7 @@ func main() {
 		specIn   = flag.String("spec", "", "run a canonical spec JSON file instead of the flags ('-' for stdin)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the canonical spec JSON for the given flags and exit")
 		traceIn  = flag.String("trace", "", "replay a binary trace file instead of a workload")
+		sampling = flag.Int("sampling", 0, "set-sampling factor K: simulate 1/K of the cache sets and extrapolate (1 = full fidelity; valid: 1, 2, 4, 8, 16)")
 		useTC    = flag.Bool("trace-cache", false, "materialize each trace once and replay it (as the experiment engine does); results are bit-identical")
 		useWC    = flag.Bool("warm-cache", false, "warm a separate hierarchy and measure on a snapshot clone (the experiment engine's warm-cache path); results are bit-identical")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
@@ -91,6 +92,7 @@ func main() {
 			UseRRIP:  *rrip,
 			Tech:     *tech,
 			Topology: *topology,
+			Sampling: *sampling,
 		}
 	}
 
@@ -261,4 +263,12 @@ func report(sys *hier.System, pol hier.PolicyKind) {
 			c, sys.Instrs(c), sys.Cycles(c), sys.IPC(c))
 	}
 	fmt.Printf("full-system dynamic energy: %.1f uJ\n", sys.FullSystemPJ()/1e6)
+	if k := sys.SampleK(); k > 1 {
+		fmt.Printf("\nset sampling 1/%d: %d accesses simulated, %d skipped\n",
+			k, sys.SampledAccesses, sys.SkippedAccesses)
+		fmt.Printf("extrapolated (x%d): L2 misses %d, L3 misses %d, DRAM traffic %d, "+
+			"energy %.1f uJ, cycles %.0f, EDP %.3g pJ*cyc\n",
+			k, sys.ScaledL2Misses(true), sys.ScaledL3Misses(true), sys.ScaledDRAMTraffic(),
+			sys.ScaledFullSystemPJ()/1e6, sys.ScaledMaxCycles(), sys.ScaledEDP())
+	}
 }

@@ -19,12 +19,18 @@
 //     count) plus the warm-state snapshot cache off/on timing of a
 //     re-measured matrix, written to BENCH_scaling.json.
 //
+//   - a set-sampling calibration of the fig9 matrix: full fidelity vs.
+//     each sampling factor, with wall-clock speedup and the extrapolation
+//     error of per-level miss ratios, energy and EDP, written to
+//     BENCH_sampling.json.
+//
 // Usage:
 //
 //	suitebench [-accesses N] [-warmup N] [-benchmarks a,b,c]
 //	           [-parallel N] [-out BENCH_suite.json]
 //	           [-replay-benchmarks a,b,c] [-replay-out BENCH_replay.json]
 //	           [-scaling-workers 1,2,4,8,16] [-scaling-out BENCH_scaling.json]
+//	           [-sampling-factors 2,4,8,16] [-sampling-out BENCH_sampling.json]
 //	           [-mutexprofile mutex.out] [-blockprofile block.out]
 //
 // -mutexprofile and -blockprofile (mirroring slipsim's -cpuprofile) record
@@ -34,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -52,6 +59,12 @@ import (
 
 // result is the JSON schema of BENCH_suite.json.
 type result struct {
+	// The hardware context the numbers were measured under: throughput
+	// figures are host-dependent, so quoting one without these is how
+	// docs and recorded artifacts drift apart.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+
 	// Single-goroutine simulator hot path.
 	SingleThreadNsPerAccess float64 `json:"single_thread_ns_per_access"`
 	SingleThreadAccessesSec float64 `json:"single_thread_accesses_per_sec"`
@@ -132,6 +145,14 @@ type scalingPoint struct {
 	Speedup float64 `json:"speedup"` // vs. the first (lowest) worker count
 }
 
+// samplingArtifact is the JSON schema of BENCH_sampling.json: the
+// calibration report plus the host context it was measured under.
+type samplingArtifact struct {
+	experiments.SamplingReport
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+}
+
 // timeMatrix simulates the matrix on a fresh suite and returns wall-clock
 // plus the suite (so callers can read its trace-cache stats).
 func timeMatrix(opts experiments.Options, pols []hier.PolicyKind) (time.Duration, *experiments.Suite) {
@@ -155,6 +176,9 @@ func main() {
 		scaleO   = flag.String("scaling-out", "BENCH_scaling.json", "scaling sweep output JSON path (empty skips the pass)")
 		mutexPro = flag.String("mutexprofile", "", "write a mutex contention profile covering all passes to this file")
 		blockPro = flag.String("blockprofile", "", "write a goroutine blocking profile covering all passes to this file")
+		sampleO  = flag.String("sampling-out", "BENCH_sampling.json", "set-sampling calibration output JSON path (empty skips the pass)")
+		sampleF  = flag.String("sampling-factors", "2,4,8,16", "comma-separated sampling factors for the calibration pass")
+		sampleB  = flag.String("sampling-benchmarks", "", "benchmark set for the calibration pass (default: all, the fig9 matrix)")
 	)
 	flag.Parse()
 
@@ -191,6 +215,26 @@ func main() {
 		}
 		if len(sweepWorkers) == 0 {
 			fail("-scaling-workers must name at least one worker count")
+		}
+	}
+	var sampleFactors []int
+	if *sampleO != "" {
+		for _, f := range strings.Split(*sampleF, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || k < 2 {
+				fail("-sampling-factors must list integers >= 2 (got %q)", f)
+			}
+			sampleFactors = append(sampleFactors, k)
+		}
+		if len(sampleFactors) == 0 {
+			fail("-sampling-factors must name at least one factor")
+		}
+		if *sampleB != "" {
+			for _, b := range strings.Split(*sampleB, ",") {
+				if _, ok := workloads.ByName(b); !ok {
+					fail("unknown sampling benchmark %q (see slipbench -list)", b)
+				}
+			}
 		}
 	}
 
@@ -263,6 +307,8 @@ func main() {
 	_ = sink
 
 	res := result{
+		GOMAXPROCS:              runtime.GOMAXPROCS(0),
+		NumCPU:                  runtime.NumCPU(),
 		SingleThreadAccesses:    *single,
 		SingleThreadNsPerAccess: float64(elapsed.Nanoseconds()) / float64(*single),
 		SingleThreadAccessesSec: float64(*single) / elapsed.Seconds(),
@@ -385,6 +431,44 @@ func main() {
 			rres.MatrixRuns, off.Round(time.Millisecond), on.Round(time.Millisecond), rres.Speedup,
 			rres.TraceCacheMisses, float64(rres.TraceCacheBytes)/(1<<20), rres.TraceCacheHits)
 		fmt.Printf("wrote %s\n", *replayO)
+	}
+
+	if *sampleO != "" {
+		// Set-sampling calibration: the fig9 matrix at full fidelity, then
+		// at each factor, with per-metric extrapolation error and speedup.
+		sbset := workloads.Names()
+		sbNames := strings.Join(sbset, ",")
+		if *sampleB != "" {
+			sbset = strings.Split(*sampleB, ",")
+			sbNames = *sampleB
+		}
+		sOpts := experiments.Options{
+			Accesses:    *acc,
+			Warmup:      *warm,
+			WarmupSet:   true,
+			Seed:        7,
+			Benchmarks:  sbset,
+			Parallelism: *parallel,
+		}
+		rep, err := experiments.CalibrateSetSampling(context.Background(), sOpts, sampleFactors)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		art := samplingArtifact{
+			SamplingReport: *rep,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			NumCPU:         runtime.NumCPU(),
+		}
+		writeJSON(*sampleO, art)
+		fmt.Printf("sampling calibration (%d runs over %s): full pass %.1fs\n",
+			rep.Runs, sbNames, rep.FullWallSeconds)
+		for _, f := range rep.Factors {
+			fmt.Printf("  1/%-2d  %6.2fx speedup  miss-ratio err L2 %.2f%% / L3 %.2f%%  energy %.2f%%  EDP %.2f%% (mean abs)\n",
+				f.Factor, f.Speedup, f.L2MissRatio.MeanAbsPct, f.L3MissRatio.MeanAbsPct,
+				f.EnergyPJ.MeanAbsPct, f.EDP.MeanAbsPct)
+		}
+		fmt.Printf("wrote %s\n", *sampleO)
 	}
 
 	if *scaleO == "" {

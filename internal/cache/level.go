@@ -50,6 +50,14 @@ type Config struct {
 	UseRRIP bool
 	// MovementQueueCap overrides the 16-entry default when positive.
 	MovementQueueCap int
+	// SampleDiv is the set-sampling factor K (≤1 = full fidelity). Under
+	// 1/K set sampling only 1/K of the sets receive traffic, so the
+	// reuse-distance estimator is sized for the active capacity C/K:
+	// otherwise its granule (4C/64 accesses per tick) is K times too
+	// coarse relative to the thinned access counter, and after the xK
+	// distance rescale every sub-granule distance collapses toward the
+	// nearest bin, biasing the per-page distributions the EOU consumes.
+	SampleDiv int
 }
 
 // Stats aggregates the per-level accounting every experiment reads.
@@ -158,7 +166,13 @@ func New(cfg Config) *Level {
 		mqCap = 16
 	}
 	l.mq = NewMovementQueue(mqCap, 4)
-	l.est = core.NewRDEstimator(uint64(numSets * ways))
+	estLines := uint64(numSets * ways)
+	if cfg.SampleDiv > 1 {
+		if estLines = estLines / uint64(cfg.SampleDiv); estLines == 0 {
+			estLines = 1
+		}
+	}
+	l.est = core.NewRDEstimator(estLines)
 	l.Stats.HitsPerSublevel = make([]uint64, len(cfg.Params.SublevelWays))
 	return l
 }

@@ -40,6 +40,11 @@ type Options struct {
 	WarmupSet bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Sampling, when > 1, stamps the set-sampling factor K into every spec
+	// that does not set its own: runs simulate 1/K of the cache sets and
+	// report extrapolated statistics. A spec with an explicit Sampling
+	// (including 1, the canonical full-fidelity value) keeps it.
+	Sampling int
 	// Benchmarks restricts the workload set (default: all).
 	Benchmarks []string
 	// Parallelism bounds the worker pool used by Prefetch/RunAll
@@ -172,6 +177,9 @@ func (s *Suite) ResolveSpec(sp RunSpec) (spec.Spec, error) {
 	}
 	if sp.Seed == 0 {
 		sp.Seed = s.opts.Seed
+	}
+	if sp.Sampling == 0 {
+		sp.Sampling = s.opts.Sampling
 	}
 	return sp.Canonical()
 }

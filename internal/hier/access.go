@@ -127,7 +127,29 @@ func (s *System) Access(coreID int, a trace.Access) {
 	line := a.Addr.Line()
 	var pte *mmu.PTE
 	if cn.mmu != nil {
+		// The TLB and page-sampling machinery are page-grain, not
+		// set-indexed, so under set sampling they still see the full access
+		// stream: thinning them would distort TLB miss rates, sampling-page
+		// selection and stabilization cadence nonlinearly (short page
+		// streaks vanish under thinning), a bias that grows with run
+		// length. Translating every access keeps the whole per-page state
+		// machine exactly on its full-fidelity trajectory; only the
+		// set-indexed work below (tags, policy, energy) is sampled.
 		pte = s.translate(cn, a.Addr.Page())
+	}
+	if s.sampleMask != 0 {
+		// Set-sampled fast path: accesses outside the sampled line-address
+		// groups short-circuit before tag, policy and energy work,
+		// contributing only their base-CPI instruction time. The group is
+		// in the line address's low bits, so coreShift relocation never
+		// changes it. Instruction counts stay exact; stalls accrue only
+		// from the sample and are extrapolated by ScaledCycles.
+		if s.sampleMask&(1<<(uint64(line)&63)) == 0 {
+			s.SkippedAccesses++
+			cn.Cycles += float64(1+a.Gap) * s.cfg.Core.BaseCPI
+			return
+		}
+		s.SampledAccesses++
 	}
 
 	lat := s.cfg.Core.L1LatencyCyc
@@ -145,18 +167,34 @@ func (s *System) Access(coreID int, a trace.Access) {
 }
 
 // translate runs the TLB/sampling machinery and returns the page's PTE.
+// Under set sampling the page-grain state machine runs at full rate, but
+// the cache traffic it generates (profile-line fetches and writebacks) is
+// set-indexed like any other line, so it passes through the same sampled-
+// group filter as demand traffic — metadata counters and energy then thin
+// by ~1/K alongside everything else and the uniform xK extrapolation in
+// the Scaled* accessors stays consistent.
 func (s *System) translate(cn *coreNode, page mem.PageID) *mmu.PTE {
 	res := cn.mmu.Translate(page)
 	if res.FetchProfile {
-		s.metaFetch(cn, mmu.ProfileAddr(page).Line())
+		if ml := mmu.ProfileAddr(page).Line(); s.sampledLine(ml) {
+			s.metaFetch(cn, ml)
+		}
 	}
 	if res.WritebackValid {
-		s.metaWriteback(mmu.ProfileAddr(res.WritebackProfile).Line())
+		if ml := mmu.ProfileAddr(res.WritebackProfile).Line(); s.sampledLine(ml) {
+			s.metaWriteback(ml)
+		}
 	}
 	if res.BecameStable {
 		s.recomputePolicy(cn, res.PTE)
 	}
 	return res.PTE
+}
+
+// sampledLine reports whether a line address falls in a sampled set group
+// (always true when set sampling is off).
+func (s *System) sampledLine(line mem.LineAddr) bool {
+	return s.sampleMask == 0 || s.sampleMask&(1<<(uint64(line)&63)) != 0
 }
 
 // recomputePolicy runs the EOU for both levels on a page that just turned
@@ -218,14 +256,19 @@ func (s *System) accessL2(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
 	r2 := cn.l2.Access(line, false)
 	if r2.Hit {
 		if pte != nil && pte.Sampling {
-			pte.L2Dist.Add(slipcore.BinFor(r2.RDLines, s.cumL2))
+			// rdScale (1 when set sampling is off) restores sampled reuse
+			// distances to full-capacity scale: under 1/K set sampling the
+			// level timestamp advances at 1/K the full rate, so observed
+			// distances are ~1/K of what the full run would measure while
+			// the bin boundaries stay sized to the full cache.
+			pte.L2Dist.Add(slipcore.BinFor(r2.RDLines*s.rdScale, s.cumL2))
 			// An L2 hit at reuse distance d is also evidence for the L3
 			// vector: had the L2 not served it, the L3 would have at the
 			// same line distance. Without this cross-update the L3 never
 			// observes reuses the (sampling-time Default) L2 absorbs, and
 			// pages whose lines fit the L2 get a bogus all-miss L3 profile
 			// — the stale-bypass pathology discussed in DESIGN.md.
-			pte.L3Dist.Add(slipcore.BinFor(r2.RDLines, s.cumL3))
+			pte.L3Dist.Add(slipcore.BinFor(r2.RDLines*s.rdScale, s.cumL3))
 		}
 		lat := latencyOf(cn.l2, s.uniformLat2, r2.Way)
 		cn.d2.OnHit(cn.l2, r2.Set, r2.Way)
@@ -250,7 +293,7 @@ func (s *System) accessL3(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
 	r3 := s.l3.Access(line, false)
 	if r3.Hit {
 		if pte != nil && pte.Sampling {
-			pte.L3Dist.Add(slipcore.BinFor(r3.RDLines, s.cumL3))
+			pte.L3Dist.Add(slipcore.BinFor(r3.RDLines*s.rdScale, s.cumL3))
 		}
 		lat := latencyOf(s.l3, s.uniformLat3, r3.Way)
 		s.d3.OnHit(s.l3, r3.Set, r3.Way)

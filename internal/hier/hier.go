@@ -8,6 +8,7 @@ package hier
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/cache"
@@ -105,6 +106,15 @@ type Config struct {
 	// UseRRIP switches the underlying replacement policy to SRRIP
 	// (Section 7 extension).
 	UseRRIP bool
+	// SampleK/SampleMask enable the set-sampled fast path. When SampleK > 1
+	// only accesses whose line-address group (line mod 64, i.e. address
+	// bits 6..11) has its bit set in SampleMask are simulated; the rest
+	// short-circuit with base-CPI timing before any tag/policy/energy work.
+	// SampleMask must have exactly 64/SampleK bits set (spec.SampleSelection
+	// produces valid masks deterministically). SampleK <= 1 is the
+	// full-fidelity path, bit-identical to a config without these fields.
+	SampleK    int
+	SampleMask uint64
 }
 
 // fillDefaults applies the paper configuration to unset fields.
@@ -185,12 +195,36 @@ type System struct {
 
 	// EOUPJ is the optimizer energy (1.27 pJ per operation).
 	EOUPJ float64
+
+	// Set sampling (Config.SampleK > 1): sampleMask selects the simulated
+	// line-address groups (zero = sampling off) and rdScale (= K, 1 when
+	// off) rescales sampled reuse distances back to full-capacity scale
+	// before distribution binning, since sampled timestamps advance at 1/K
+	// the full rate.
+	sampleMask uint64
+	rdScale    uint64
+
+	// SampledAccesses/SkippedAccesses split the driven accesses between the
+	// simulated sample and the short-circuited remainder (both zero when
+	// sampling is off).
+	SampledAccesses, SkippedAccesses uint64
 }
 
 // New builds a system.
 func New(cfg Config) *System {
 	cfg.fillDefaults()
-	s := &System{cfg: cfg}
+	s := &System{cfg: cfg, rdScale: 1}
+	if cfg.SampleK > 1 {
+		if cfg.SampleK > 64 || 64%cfg.SampleK != 0 {
+			panic(fmt.Sprintf("hier: SampleK must divide 64 (got %d)", cfg.SampleK))
+		}
+		if got, want := bits.OnesCount64(cfg.SampleMask), 64/cfg.SampleK; got != want {
+			panic(fmt.Sprintf("hier: SampleMask must select exactly %d of 64 line-address groups for SampleK=%d (got %d)",
+				want, cfg.SampleK, got))
+		}
+		s.sampleMask = cfg.SampleMask
+		s.rdScale = uint64(cfg.SampleK)
+	}
 	s.dram = dram.New(cfg.DRAM)
 	s.encL2 = slipcore.NewEncoder(len(cfg.L2Params.SublevelWays))
 	s.encL3 = slipcore.NewEncoder(len(cfg.L3Params.SublevelWays))
@@ -203,6 +237,7 @@ func New(cfg Config) *System {
 		Bytes:          cfg.L3Bytes,
 		ChargeMetadata: chargeMeta,
 		UseRRIP:        cfg.UseRRIP,
+		SampleDiv:      cfg.SampleK,
 	})
 	s.d3 = s.newDriver(3, cfg.Seed)
 	s.uniformLat3 = s.d3.UniformLatency()
@@ -221,6 +256,7 @@ func New(cfg Config) *System {
 			Bytes:          cfg.L2Bytes,
 			ChargeMetadata: chargeMeta,
 			UseRRIP:        cfg.UseRRIP,
+			SampleDiv:      cfg.SampleK,
 		})
 		cn.d2 = s.newDriver(2, cfg.Seed+uint64(i)*977)
 		s.uniformLat2 = cn.d2.UniformLatency()
@@ -228,11 +264,20 @@ func New(cfg Config) *System {
 			s.slipL2 = append(s.slipL2, d)
 		}
 		if cfg.Policy.IsSLIP() {
-			cn.mmu = mmu.New(mmu.Config{
+			mc := mmu.Config{
 				Seed:            cfg.Seed + uint64(i)*31,
 				BinBits:         cfg.BinBits,
 				DisableSampling: cfg.DisableSampling,
-			})
+			}
+			if cfg.SampleK > 1 {
+				// Under 1/K set sampling a page's distributions accumulate
+				// observations at 1/K the full-fidelity rate (only sampled-
+				// group accesses update them), so the stable-transition
+				// evidence gate scales down by K to keep stabilization on
+				// the full run's wall-access timeline.
+				mc.MinSamples = (mmu.DefaultMinSamples + cfg.SampleK - 1) / cfg.SampleK
+			}
+			cn.mmu = mmu.New(mc)
 		}
 		s.cores = append(s.cores, cn)
 	}

@@ -76,6 +76,11 @@ func (s *System) clone() *System {
 		L3MetaMisses:   s.L3MetaMisses,
 
 		EOUPJ: s.EOUPJ,
+
+		sampleMask:      s.sampleMask,
+		rdScale:         s.rdScale,
+		SampledAccesses: s.SampledAccesses,
+		SkippedAccesses: s.SkippedAccesses,
 	}
 	if s.eouL2 != nil {
 		c.eouL2 = s.eouL2.Clone()

@@ -26,6 +26,7 @@ func (s *System) ResetStats() {
 	s.L2DemandMisses, s.L2MetaAccesses, s.L2MetaMisses = 0, 0, 0
 	s.L3DemandMisses, s.L3MetaAccesses, s.L3MetaMisses = 0, 0, 0
 	s.EOUPJ = 0
+	s.SampledAccesses, s.SkippedAccesses = 0, 0
 	for _, d := range s.slipL2 {
 		d.InsertClasses = [4]uint64{}
 	}
@@ -217,6 +218,93 @@ func (s *System) InsertionClassFractions(level int) [4]float64 {
 		out[i] = float64(v) / float64(total)
 	}
 	return out
+}
+
+// Scaled accessors: set-sampled runs simulate 1/K of the accesses and
+// extrapolate by K. Every Scaled* accessor returns the raw value verbatim
+// when sampling is off (SampleK <= 1), so callers can use them
+// unconditionally. Raw accessors above always report exactly what the
+// sampled simulation did, never extrapolations — keeping both visible is
+// what lets the calibration harness measure extrapolation error at all.
+// Miss *ratios* computed from raw counters are already unbiased: numerator
+// and denominator scale together.
+
+// SampleK returns the sampling factor (1 when sampling is off).
+func (s *System) SampleK() int {
+	if s.cfg.SampleK > 1 {
+		return s.cfg.SampleK
+	}
+	return 1
+}
+
+// scale returns the extrapolation factor as a float.
+func (s *System) scale() float64 { return float64(s.SampleK()) }
+
+// ScaledCycles extrapolates core i's cycles: instruction time (base CPI)
+// is exact — every access, sampled or skipped, contributes it — while
+// stall time accrues only from the sampled 1/K of accesses and is scaled
+// by K.
+func (s *System) ScaledCycles(i int) float64 {
+	if s.cfg.SampleK <= 1 {
+		return s.cores[i].Cycles
+	}
+	return s.cores[i].Cycles + (s.scale()-1)*s.cores[i].Stalls
+}
+
+// ScaledMaxCycles is MaxCycles over ScaledCycles — the extrapolated run
+// wall time, the EDP time factor for sampled runs.
+func (s *System) ScaledMaxCycles() float64 {
+	m := 0.0
+	for i := range s.cores {
+		if c := s.ScaledCycles(i); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// ScaledL2Misses / ScaledL3Misses / ScaledDRAMTraffic extrapolate the
+// sampled counters by K.
+func (s *System) ScaledL2Misses(withMetadata bool) uint64 {
+	return s.L2Misses(withMetadata) * uint64(s.SampleK())
+}
+
+// ScaledL3Misses mirrors ScaledL2Misses for the L3.
+func (s *System) ScaledL3Misses(withMetadata bool) uint64 {
+	return s.L3Misses(withMetadata) * uint64(s.SampleK())
+}
+
+// ScaledDRAMTraffic extrapolates total DRAM line transfers.
+func (s *System) ScaledDRAMTraffic() uint64 {
+	return s.DRAMTraffic() * uint64(s.SampleK())
+}
+
+// ScaledL1TotalPJ / ScaledL2TotalPJ / ScaledL3TotalPJ / ScaledDRAMPJ
+// extrapolate per-level energies (EOU energy scales with its level).
+func (s *System) ScaledL1TotalPJ() float64 { return s.L1TotalPJ() * s.scale() }
+
+// ScaledL2TotalPJ extrapolates L2 energy including its EOU share.
+func (s *System) ScaledL2TotalPJ() float64 { return s.L2TotalPJ() * s.scale() }
+
+// ScaledL3TotalPJ extrapolates L3 energy including its EOU share.
+func (s *System) ScaledL3TotalPJ() float64 { return s.L3TotalPJ() * s.scale() }
+
+// ScaledDRAMPJ extrapolates main-memory energy.
+func (s *System) ScaledDRAMPJ() float64 { return s.DRAMPJ() * s.scale() }
+
+// ScaledFullSystemPJ is the extrapolated Figure 10 denominator: core
+// energy is exact (instruction counts are), memory-hierarchy energy is
+// scaled by K.
+func (s *System) ScaledFullSystemPJ() float64 {
+	if s.cfg.SampleK <= 1 {
+		return s.FullSystemPJ()
+	}
+	return s.CorePJ() + s.scale()*(s.L1TotalPJ()+s.L2TotalPJ()+s.L3TotalPJ()+s.DRAMPJ())
+}
+
+// ScaledEDP is the extrapolated energy-delay product (pJ * cycles).
+func (s *System) ScaledEDP() float64 {
+	return s.ScaledFullSystemPJ() * s.ScaledMaxCycles()
 }
 
 // NRFractions returns the Figure 1 breakdown of lines by reuse count

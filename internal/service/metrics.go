@@ -25,6 +25,8 @@ type Metrics struct {
 	cacheHits   uint64
 	cacheMisses uint64
 
+	sampledRuns uint64
+
 	accessesTotal uint64
 	busySeconds   float64
 
@@ -85,6 +87,13 @@ func (m *Metrics) CacheHit() {
 func (m *Metrics) CacheMiss() {
 	m.mu.Lock()
 	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+// SampledRun counts a completed set-sampled (sampling > 1) job.
+func (m *Metrics) SampledRun() {
+	m.mu.Lock()
+	m.sampledRuns++
 	m.mu.Unlock()
 }
 
@@ -191,6 +200,8 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	gauge("slip_warm_cache_misses", "Runs that had to simulate their warmup.", u64(g.WarmMisses))
 	gauge("slip_warm_cache_bytes", "Estimated snapshot bytes currently retained.", i64(g.WarmBytes))
 	gauge("slip_warm_cache_evictions", "Snapshots evicted by the LRU byte budget.", u64(g.WarmEvictions))
+
+	counter("slip_sampled_runs_total", "Completed set-sampled (sampling > 1) runs.", float64(m.sampledRuns))
 
 	counter("slipd_sim_accesses_total", "Memory accesses simulated across all jobs.", float64(m.accessesTotal))
 	perSec := 0.0

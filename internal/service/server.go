@@ -401,6 +401,9 @@ func (s *Server) finishJob(j *Job, res *RunResult, err error) {
 
 	if err == nil {
 		s.store.Put(j.Key, res)
+		if j.Spec.Sampling > 1 {
+			s.metrics.SampledRun()
+		}
 	}
 	s.metrics.JobFinished(j.State, j.Finished.Sub(j.Started).Seconds())
 	s.cfg.Log.Printf("job %s %s (%s) in %v", j.ID, j.State, j.Key, j.Finished.Sub(j.Started).Round(time.Millisecond))

@@ -88,6 +88,14 @@ type RunResult struct {
 	Cycles float64 `json:"cycles"`
 	IPC    float64 `json:"ipc"`
 
+	// Sampling is the set-sampling factor K of the run (absent for full
+	// fidelity). When present, misses, traffic, energies and cycles above
+	// are extrapolated (scaled by K) from the simulated 1/K sample;
+	// SampledAccesses/SkippedAccesses report the raw split.
+	Sampling        int    `json:"sampling,omitempty"`
+	SampledAccesses uint64 `json:"sampled_accesses,omitempty"`
+	SkippedAccesses uint64 `json:"skipped_accesses,omitempty"`
+
 	SimSeconds float64 `json:"sim_seconds"`
 
 	Spec spec.Spec `json:"spec"`
@@ -125,25 +133,33 @@ func resultFrom(sys *hier.System, c spec.Spec, elapsed time.Duration) *RunResult
 		L2HitRate: hitRate(l2Hits, l2Acc),
 		L3HitRate: hitRate(sys.L3().Stats.Hits.Value(), sys.L3().Stats.Accesses.Value()),
 
+		// Scaled accessors return the raw values verbatim for full-fidelity
+		// runs and K-extrapolated estimates for set-sampled ones, so one
+		// wire shape covers both.
 		CorePJ:       sys.CorePJ(),
-		L1PJ:         sys.L1TotalPJ(),
-		L2PJ:         sys.L2TotalPJ(),
-		L3PJ:         sys.L3TotalPJ(),
-		DRAMPJ:       sys.DRAMPJ(),
-		EOUPJ:        sys.EOUPJ,
-		FullSystemPJ: sys.FullSystemPJ(),
+		L1PJ:         sys.ScaledL1TotalPJ(),
+		L2PJ:         sys.ScaledL2TotalPJ(),
+		L3PJ:         sys.ScaledL3TotalPJ(),
+		DRAMPJ:       sys.ScaledDRAMPJ(),
+		EOUPJ:        sys.EOUPJ * float64(sys.SampleK()),
+		FullSystemPJ: sys.ScaledFullSystemPJ(),
 
-		L2Misses:          sys.L2Misses(true),
-		L3Misses:          sys.L3Misses(true),
-		DRAMTraffic:       sys.DRAMTraffic(),
-		DRAMDemandTraffic: sys.DRAMDemandTraffic(),
+		L2Misses:          sys.ScaledL2Misses(true),
+		L3Misses:          sys.ScaledL3Misses(true),
+		DRAMTraffic:       sys.ScaledDRAMTraffic(),
+		DRAMDemandTraffic: sys.DRAMDemandTraffic() * uint64(sys.SampleK()),
 
 		Instrs: sys.TotalInstrs(),
-		Cycles: sys.MaxCycles(),
+		Cycles: sys.ScaledMaxCycles(),
 
 		SimSeconds: elapsed.Seconds(),
 
 		Spec: c,
+	}
+	if k := sys.SampleK(); k > 1 {
+		res.Sampling = k
+		res.SampledAccesses = sys.SampledAccesses
+		res.SkippedAccesses = sys.SkippedAccesses
 	}
 	if res.Cycles > 0 {
 		res.IPC = float64(res.Instrs) / res.Cycles

@@ -102,6 +102,13 @@ type Spec struct {
 	L3Bytes uint64 `json:"l3_bytes,omitempty"`
 	// DRAM overrides the main-memory model (default: the node's model).
 	DRAM *DRAMSpec `json:"dram,omitempty"`
+
+	// Sampling enables the set-sampled fast path: only 1/K of the cache
+	// sets are simulated and extrapolated statistics are scaled back by K.
+	// Valid values are 1 (full fidelity, the canonical absent form), 2, 4,
+	// 8 and 16. The sampled sets are a deterministic function of the spec
+	// hash; see SampleSelection.
+	Sampling int `json:"sampling,omitempty"`
 }
 
 // Single names the default single-core run of a workload under a policy.
@@ -153,6 +160,11 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("spec: unknown topology %q (valid: %s, %s, %s)",
 			s.Topology, TopoWayInterleaved, TopoSetInterleaved, TopoHTree)
+	}
+	switch s.Sampling {
+	case 0, 1, 2, 4, 8, 16:
+	default:
+		return fmt.Errorf("spec: sampling must be one of 1, 2, 4, 8, 16 (got %d)", s.Sampling)
 	}
 	if s.DRAM != nil {
 		if s.DRAM.LatencyCycles <= 0 {
@@ -240,6 +252,11 @@ func (s Spec) Canonical() (Spec, error) {
 		d := *c.DRAM
 		c.DRAM = &d
 	}
+	if c.Sampling <= 1 {
+		// sampling:1 IS the full-fidelity run; clearing it keeps the
+		// hashes of every pre-sampling spec intact.
+		c.Sampling = 0
+	}
 	return c, nil
 }
 
@@ -268,6 +285,69 @@ func (s Spec) MustHash() string {
 	return h
 }
 
+// SampleGroups is the number of line-address groups the set-sampled fast
+// path partitions the address space into: group = line-address mod 64,
+// i.e. address bits 6..11. Every cache level in the hierarchy has at least
+// 64 sets (power of two), so each group maps to an equal 1/64 slice of the
+// sets at every level simultaneously — selecting 64/K groups selects
+// exactly sets/K sample sets per level with one mask for the whole system.
+const SampleGroups = 64
+
+// splitmix64 is the PRNG behind sampled-set selection; the output sequence
+// is a pure function of the seed, with no dependence on map iteration
+// order, the host, or the Go version.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SampleSelection returns the sampling factor K and the 64-bit group mask
+// (bit g set = line-address group g is simulated) for this spec. For a
+// full-fidelity spec it returns (1, 0): the hot path treats a zero mask
+// with K=1 as "sampling off".
+//
+// Selection is a deterministic pure function of the spec's canonical form
+// with the measured window (Accesses) pinned — the exact projection the
+// warm-state cache keys on — so a warm snapshot and every measured window
+// that restores it agree on the sampled sets by construction.
+func (s Spec) SampleSelection() (int, uint64, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return 0, 0, err
+	}
+	k := c.Sampling
+	if k <= 1 {
+		return 1, 0, nil
+	}
+	c.Accesses = 1 // match the warm-cache key projection
+	b, err := json.Marshal(c)
+	if err != nil {
+		return 0, 0, fmt.Errorf("spec: encode for sample selection: %w", err)
+	}
+	sum := sha256.Sum256(append(b, []byte("|sample-v1")...))
+	seed := uint64(sum[0])<<56 | uint64(sum[1])<<48 | uint64(sum[2])<<40 |
+		uint64(sum[3])<<32 | uint64(sum[4])<<24 | uint64(sum[5])<<16 |
+		uint64(sum[6])<<8 | uint64(sum[7])
+
+	// Fisher-Yates over the 64 groups, keep the first 64/K.
+	var perm [SampleGroups]uint8
+	for i := range perm {
+		perm[i] = uint8(i)
+	}
+	for i := SampleGroups - 1; i > 0; i-- {
+		j := int(splitmix64(&seed) % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	var mask uint64
+	for _, g := range perm[:SampleGroups/k] {
+		mask |= 1 << g
+	}
+	return k, mask, nil
+}
+
 // Build compiles the spec into the simulator configuration it denotes.
 // The mapping reproduces the experiment suite's historical constructors
 // bit for bit: the 45nm way-interleaved node uses the calibrated Table 1/2
@@ -289,6 +369,13 @@ func (s Spec) Build() (hier.Config, error) {
 		L2Bytes:         c.L2Bytes,
 		L3Bytes:         c.L3Bytes,
 		DRAM:            energy.DRAMParams{LatencyCycles: c.DRAM.LatencyCycles, PJPerBit: c.DRAM.PJPerBit},
+	}
+	if c.Sampling > 1 {
+		k, mask, err := s.SampleSelection()
+		if err != nil {
+			return hier.Config{}, err
+		}
+		cfg.SampleK, cfg.SampleMask = k, mask
 	}
 
 	// Per-node metadata energies and sublevel latencies: the 22nm values
@@ -351,6 +438,9 @@ func (s Spec) Variant() string {
 	}
 	if c.L3Bytes != 2*mem.MB {
 		parts = append(parts, fmt.Sprintf("l3=%dKB", c.L3Bytes/mem.KB))
+	}
+	if c.Sampling > 1 {
+		parts = append(parts, fmt.Sprintf("sample1/%d", c.Sampling))
 	}
 	return strings.Join(parts, "+")
 }

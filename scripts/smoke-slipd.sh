@@ -28,7 +28,9 @@ curl -fsS "$BASE/healthz" | grep -q ok
 echo "healthz ok"
 
 REQ='{"workload":"milc","policy":"slip+abp","seed":7}'
-ID=$(curl -fsS -X POST -d "$REQ" "$BASE/v1/runs" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+POST1=$(curl -fsS -X POST -d "$REQ" "$BASE/v1/runs")
+ID=$(echo "$POST1" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+FULLKEY=$(echo "$POST1" | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
 [ -n "$ID" ] || { echo "no job id returned"; exit 1; }
 echo "submitted job $ID"
 
@@ -109,6 +111,37 @@ echo "$METRICS" | grep -q '^slip_warm_cache_evictions ' || {
   echo "warm cache evictions gauge missing from /metrics"; exit 1
 }
 echo "warm cache hit/miss/bytes confirmed via /metrics"
+
+# A set-sampled spec must be a first-class run: its key splits from the
+# full-fidelity twin (no cache collision possible), the result round-trips
+# the sampling factor and the raw sampled/skipped partition alongside the
+# extrapolated counters, and the sampled-runs counter observes it.
+REQS='{"workload":"milc","policy":"slip+abp","seed":7,"sampling":8}'
+SPOST=$(curl -fsS -X POST -d "$REQS" "$BASE/v1/runs")
+SID=$(echo "$SPOST" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')
+SKEY=$(echo "$SPOST" | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
+[ -n "$SID" ] || { echo "no job id for sampled run"; exit 1; }
+[ -n "$SKEY" ] && [ "$SKEY" != "$FULLKEY" ] || {
+  echo "sampled key $SKEY collides with full-fidelity key $FULLKEY"; exit 1
+}
+SBODY=""
+for _ in $(seq 1 300); do
+  SBODY=$(curl -fsS "$BASE/v1/runs/$SID")
+  case "$SBODY" in
+    *'"state":"completed"'*) break ;;
+    *'"state":"failed"'* | *'"state":"cancelled"'*) echo "sampled job did not complete: $SBODY"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+echo "$SBODY" | grep -q '"state":"completed"' || { echo "sampled job timed out: $SBODY"; exit 1; }
+echo "$SBODY" | grep -q '"sampling":8' || { echo "result lost the sampling factor: $SBODY"; exit 1; }
+echo "$SBODY" | grep -Eq '"sampled_accesses":[1-9]' || { echo "no sampled accesses reported: $SBODY"; exit 1; }
+echo "$SBODY" | grep -Eq '"skipped_accesses":[1-9]' || { echo "no skipped accesses reported: $SBODY"; exit 1; }
+echo "$SBODY" | grep -Eq '"full_system_pj":[0-9]' || { echo "sampled run has no extrapolated energy: $SBODY"; exit 1; }
+curl -fsS "$BASE/metrics" | grep -Eq '^slip_sampled_runs_total [1-9]' || {
+  echo "sampled run not counted in /metrics"; exit 1
+}
+echo "sampled run confirmed: distinct key, round-tripped factor, counted in /metrics"
 
 # The opt-in pprof listener must serve the profile index on its own
 # address, never on the API address.
