@@ -7,10 +7,16 @@
 // Usage:
 //
 //	slipd [-addr :8080] [-workers N] [-queue N] [-store N]
+//	      [-store-dir /var/lib/slipd] [-store-disk-mb 1024] [-store-fsync]
 //	      [-accesses N] [-warmup N] [-seed N]
 //	      [-job-timeout 5m] [-drain-timeout 30s]
 //	      [-trace-cache-mb 256] [-warm-cache-mb 256]
 //	      [-pprof-addr 127.0.0.1:6060]
+//
+// -store-dir (off by default) layers a durable content-addressed result
+// store under the in-memory LRU: completed results are written behind to
+// disk (atomic tmp+rename, checksum-verified reads) and a restarted daemon
+// on the same directory answers for everything it ever simulated.
 //
 // -pprof-addr (off by default) serves net/http/pprof on a separate
 // listener, so daemon hot paths can be profiled in place without exposing
@@ -31,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/castore"
 	"repro/internal/service"
 	"repro/internal/workloads"
 )
@@ -41,6 +48,9 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
 		queue    = flag.Int("queue", 64, "job queue depth (full queue answers 429)")
 		storeCap = flag.Int("store", 256, "LRU result store capacity")
+		storeDir = flag.String("store-dir", "", "durable result store directory (empty = memory only)")
+		storeMB  = flag.Int64("store-disk-mb", 1024, "durable store byte budget in MiB (0 = unlimited)")
+		storeFS  = flag.Bool("store-fsync", false, "fsync durable store writes before commit")
 		acc      = flag.Uint64("accesses", 2_000_000, "default measured accesses per run")
 		warmup   = flag.Int64("warmup", -1, "default warmup accesses (-1 = same as -accesses)")
 		seed     = flag.Uint64("seed", 42, "default random seed")
@@ -80,6 +90,9 @@ func main() {
 	if *warmMB < 0 {
 		fail("-warm-cache-mb must be >= 0 (got %d)", *warmMB)
 	}
+	if *storeMB < 0 {
+		fail("-store-disk-mb must be >= 0 (got %d)", *storeMB)
+	}
 	if err := workloads.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -108,6 +121,14 @@ func main() {
 		cfg.WarmCacheBytes = -1 // disabled
 	} else {
 		cfg.WarmCacheBytes = *warmMB << 20
+	}
+	if *storeDir != "" {
+		disk, err := castore.Open(*storeDir, castore.Options{MaxBytes: *storeMB << 20, Fsync: *storeFS})
+		if err != nil {
+			fail("opening -store-dir: %v", err)
+		}
+		cfg.DiskStore = disk
+		logger.Printf("durable result store at %s (%d entries, %d bytes)", *storeDir, disk.Len(), disk.Bytes())
 	}
 
 	srv := service.New(cfg)

@@ -29,11 +29,11 @@ type SamplingFactorResult struct {
 	Speedup     float64 `json:"speedup"`
 	// SampledShare is the mean fraction of accesses actually simulated
 	// (~1/Factor by construction).
-	SampledShare float64            `json:"sampled_share"`
-	L2MissRatio  SamplingErrorStat  `json:"l2_miss_ratio"`
-	L3MissRatio  SamplingErrorStat  `json:"l3_miss_ratio"`
-	EnergyPJ     SamplingErrorStat  `json:"energy_pj"`
-	EDP          SamplingErrorStat  `json:"edp"`
+	SampledShare float64           `json:"sampled_share"`
+	L2MissRatio  SamplingErrorStat `json:"l2_miss_ratio"`
+	L3MissRatio  SamplingErrorStat `json:"l3_miss_ratio"`
+	EnergyPJ     SamplingErrorStat `json:"energy_pj"`
+	EDP          SamplingErrorStat `json:"edp"`
 }
 
 // SamplingReport is the full calibration artifact (BENCH_sampling.json):

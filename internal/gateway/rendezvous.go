@@ -1,0 +1,54 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvousScore is the highest-random-weight score of (key, member):
+// a 64-bit FNV-1a over member NUL key. Each member scores every key
+// independently, which is what gives rendezvous hashing its minimal-
+// disruption property — removing a member can only move the keys that
+// member owned, because every other member's scores are untouched.
+func rendezvousScore(key, member string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Rank orders members by descending rendezvous score for key: Rank(...)[0]
+// is the key's home, the rest are the failover order. Ties (vanishingly
+// rare with 64-bit scores) break toward the lexically smaller member so
+// the order is total and deterministic. The input slice is not modified.
+func Rank(key string, members []string) []string {
+	ranked := append([]string(nil), members...)
+	scores := make(map[string]uint64, len(ranked))
+	for _, m := range ranked {
+		scores[m] = rendezvousScore(key, m)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// Owner is the preferred member for key (empty for no members).
+func Owner(key string, members []string) string {
+	if len(members) == 0 {
+		return ""
+	}
+	best, bestScore := "", uint64(0)
+	for _, m := range members {
+		s := rendezvousScore(key, m)
+		if best == "" || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,116 @@
+package gateway
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRankDeterministicAndPermutationFree: the ranking is a pure function
+// of (key, member set) — input order must not matter, and repeated calls
+// must agree.
+func TestRankDeterministicAndPermutationFree(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	shuffled := []string{"http://c:3", "http://a:1", "http://d:4", "http://b:2"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("s1:%064d", i)
+		r1 := Rank(key, members)
+		r2 := Rank(key, shuffled)
+		if len(r1) != len(members) {
+			t.Fatalf("Rank dropped members: %v", r1)
+		}
+		for j := range r1 {
+			if r1[j] != r2[j] {
+				t.Fatalf("key %s ranks differ across permutations: %v vs %v", key, r1, r2)
+			}
+		}
+		if Owner(key, shuffled) != r1[0] {
+			t.Fatalf("Owner(%s) = %s, want Rank[0] %s", key, Owner(key, shuffled), r1[0])
+		}
+	}
+}
+
+// TestRankBalance: over many random keys, each of 3 members owns roughly a
+// third — no member may be starved or dominant (> 2x deviation fails).
+func TestRankBalance(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	counts := map[string]int{}
+	const n = 6000
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("s1:%x", rng.Uint64())
+		counts[Owner(key, members)]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / n
+		if frac < 1.0/6 || frac > 2.0/3 {
+			t.Fatalf("member %s owns %.1f%% of keys, want roughly a third: %v", m, frac*100, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d members own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRankMinimalDisruption is the membership-change acceptance assertion:
+// removing one of three members must move exactly the removed member's
+// keys (~1/3 of the space) and must not move a single key between the two
+// survivors. Rendezvous hashing gives the survivor-stability property
+// exactly, not approximately, so that half is asserted with zero
+// tolerance.
+func TestRankMinimalDisruption(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	removed := "http://b:2"
+	survivors := []string{"http://a:1", "http://c:3"}
+
+	const n = 5000
+	moved, fromRemoved := 0, 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("s1:%064x", i*2654435761)
+		before := Owner(key, members)
+		after := Owner(key, survivors)
+		if before == removed {
+			fromRemoved++
+			continue // these keys must move; where they land is free
+		}
+		if before != after {
+			moved++
+			t.Errorf("key %s moved %s -> %s though its owner survived", key, before, after)
+			if moved > 5 {
+				t.FailNow()
+			}
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving members, want 0", moved)
+	}
+	frac := float64(fromRemoved) / n
+	if frac < 0.25 || frac > 0.42 {
+		t.Fatalf("removed member owned %.1f%% of keys, want ~33%% (balanced shard)", frac*100)
+	}
+	t.Logf("membership change moved %.1f%% of keys (the removed member's share), 0 survivor keys", frac*100)
+}
+
+// TestRankVirtualSpread: adding a member takes ~1/N of the keys from the
+// old members proportionally (growth is as gentle as shrink).
+func TestRankVirtualSpread(t *testing.T) {
+	old := []string{"http://a:1", "http://b:2", "http://c:3"}
+	grown := append(append([]string(nil), old...), "http://d:4")
+	const n = 5000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("s1:%064x", i*40503)
+		before := Owner(key, old)
+		after := Owner(key, grown)
+		if before != after {
+			if after != "http://d:4" {
+				t.Fatalf("key %s moved %s -> %s on growth; only moves to the new member are allowed", key, before, after)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / n
+	if frac < 0.17 || frac > 0.33 {
+		t.Fatalf("growth moved %.1f%% of keys, want ~25%%", frac*100)
+	}
+}

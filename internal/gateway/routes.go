@@ -1,0 +1,67 @@
+package gateway
+
+import (
+	"container/list"
+	"sync"
+)
+
+// routeTable is a bounded LRU of job id -> backend address, populated from
+// POST responses so GET /v1/runs/{id} lands on the backend that owns the
+// job. Ids evicted (or minted before a gateway restart) fall back to the
+// scan path in handleGetRun.
+type routeTable struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+// routeItem is one id -> backend binding.
+type routeItem struct {
+	id   string
+	addr string
+}
+
+// newRouteTable builds a table holding at most capacity routes.
+func newRouteTable(capacity int) *routeTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &routeTable{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// put records (or refreshes) a route.
+func (rt *routeTable) put(id, addr string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if el, ok := rt.items[id]; ok {
+		el.Value.(*routeItem).addr = addr
+		rt.ll.MoveToFront(el)
+		return
+	}
+	rt.items[id] = rt.ll.PushFront(&routeItem{id: id, addr: addr})
+	if rt.ll.Len() > rt.cap {
+		oldest := rt.ll.Back()
+		rt.ll.Remove(oldest)
+		delete(rt.items, oldest.Value.(*routeItem).id)
+	}
+}
+
+// get looks up a route, promoting it.
+func (rt *routeTable) get(id string) (string, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	el, ok := rt.items[id]
+	if !ok {
+		return "", false
+	}
+	rt.ll.MoveToFront(el)
+	return el.Value.(*routeItem).addr, true
+}
+
+// len is the current route count.
+func (rt *routeTable) len() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ll.Len()
+}

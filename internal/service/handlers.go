@@ -15,15 +15,19 @@ import (
 //
 //	POST /v1/runs               submit a run (202 queued / 200 cached / 429 full)
 //	GET  /v1/runs/{id}          job status + result
+//	GET  /v1/results/{key}      fetch a stored result by spec hash (memory or disk)
 //	GET  /v1/experiments/{name} render a paper experiment as text tables
-//	GET  /healthz               liveness (503 while draining)
+//	GET  /healthz               liveness (always 200 while the process serves)
+//	GET  /readyz                readiness (503 while draining)
 //	GET  /metrics               Prometheus text format
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handlePostRun)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleGetResult)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -156,15 +160,38 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	_, _ = buf.WriteTo(w)
 }
 
-// handleHealthz is the liveness probe; draining flips it to 503 so load
-// balancers stop routing before the listener closes.
+// handleGetResult serves a stored result by its canonical spec hash —
+// straight from the layered store (memory, then disk), never simulating.
+// This is the restart-durability read path: a daemon reopened on the same
+// -store-dir answers for every result it ever completed.
+func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok := s.store.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no stored result for key %q", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleHealthz is the liveness probe: 200 for as long as the process
+// serves, draining included — "alive" and "accepting work" are different
+// questions, and /readyz answers the second.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe; draining flips it to 503 so load
+// balancers and the slipd-gateway health checker stop routing new work
+// while in-flight jobs finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintln(w, "ready")
 }
 
 // handleMetrics renders the Prometheus registry with live gauges.
@@ -172,6 +199,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	ts := s.TraceCacheStats()
 	ws := s.WarmCacheStats()
+	cs := s.store.DiskStats()
 	s.metrics.WriteTo(w, Gauges{
 		QueueDepth:     s.queue.Depth,
 		QueueCap:       s.queue.Cap,
@@ -188,5 +216,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		WarmMisses:     func() uint64 { return ws.Misses },
 		WarmBytes:      func() int64 { return ws.Bytes },
 		WarmEvictions:  func() uint64 { return ws.Evictions },
+		CASHits:        func() uint64 { return cs.Hits },
+		CASMisses:      func() uint64 { return cs.Misses },
+		CASBytes:       func() int64 { return cs.Bytes },
+		CASErrors:      func() uint64 { return cs.Errors },
+		CASEvictions:   func() uint64 { return cs.Evictions },
+		CASEntries:     func() int { return cs.Entries },
 	})
 }

@@ -134,6 +134,14 @@ type Gauges struct {
 	WarmMisses    func() uint64
 	WarmBytes     func() int64
 	WarmEvictions func() uint64
+	// Durable content-addressed result store counters (castore.Store),
+	// same nil-as-zero convention when the daemon runs memory-only.
+	CASHits      func() uint64
+	CASMisses    func() uint64
+	CASBytes     func() int64
+	CASErrors    func() uint64
+	CASEvictions func() uint64
+	CASEntries   func() int
 }
 
 // WriteTo renders the registry in Prometheus text exposition format.
@@ -200,6 +208,22 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	gauge("slip_warm_cache_misses", "Runs that had to simulate their warmup.", u64(g.WarmMisses))
 	gauge("slip_warm_cache_bytes", "Estimated snapshot bytes currently retained.", i64(g.WarmBytes))
 	gauge("slip_warm_cache_evictions", "Snapshots evicted by the LRU byte budget.", u64(g.WarmEvictions))
+
+	// Durable content-addressed store: disk hits answer POSTs and key
+	// fetches without re-simulation across restarts; errors count corrupt
+	// or unwritable entries detected and dropped.
+	gauge("slip_castore_hits", "Result reads served from a verified disk entry.", u64(g.CASHits))
+	gauge("slip_castore_misses", "Result reads with no valid disk entry.", u64(g.CASMisses))
+	gauge("slip_castore_bytes", "Entry bytes currently indexed on disk.", i64(g.CASBytes))
+	gauge("slip_castore_errors", "Corrupt/truncated entries dropped plus failed writes.", u64(g.CASErrors))
+	gauge("slip_castore_evictions", "Disk entries evicted by the byte budget.", u64(g.CASEvictions))
+	intg := func(f func() int) float64 {
+		if f == nil {
+			return 0
+		}
+		return float64(f())
+	}
+	gauge("slip_castore_entries", "Disk entries currently indexed.", intg(g.CASEntries))
 
 	counter("slip_sampled_runs_total", "Completed set-sampled (sampling > 1) runs.", float64(m.sampledRuns))
 

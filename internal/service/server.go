@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/castore"
 	"repro/internal/experiments"
 	"repro/internal/spec"
 )
@@ -46,6 +47,12 @@ type Config struct {
 	// experiments.DefaultWarmCacheBytes; negative disables warm-state
 	// caching.
 	WarmCacheBytes int64
+	// DiskStore, when set, is the durable content-addressed tier under the
+	// in-memory result store: reads fall through to it, completed results
+	// are written behind, and results survive a restart of the daemon on
+	// the same directory. The server takes ownership (Shutdown flushes and
+	// closes it).
+	DiskStore *castore.Store
 	// Log receives operational messages (default: discard).
 	Log *log.Logger
 }
@@ -160,7 +167,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		queue:   NewQueue(cfg.QueueDepth),
-		store:   NewStore(cfg.StoreCap),
+		store:   NewStoreWithDisk(cfg.StoreCap, cfg.DiskStore),
 		metrics: NewMetrics(),
 		expSuite: experiments.NewSuite(experiments.Options{
 			Accesses:        cfg.DefaultAccesses,
@@ -217,10 +224,12 @@ func (s *Server) Start() {
 	}
 }
 
-// Shutdown drains gracefully: intake stops (new POSTs get 503), queued and
-// in-flight jobs run to completion, then workers exit. If ctx expires
-// first, running simulations are cancelled (their jobs report cancelled)
-// and Shutdown returns ctx.Err() once the workers finish unwinding.
+// Shutdown drains gracefully: intake stops (new POSTs get 503 and /readyz
+// flips), queued and in-flight jobs run to completion, queued disk writes
+// flush, then workers exit. If ctx expires first, running simulations are
+// cancelled (their jobs report cancelled) and Shutdown returns ctx.Err()
+// once the workers finish unwinding — the disk tier still flushes so every
+// completed result is durable.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.queue.Close()
@@ -231,10 +240,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if err := s.store.Close(); err != nil {
+			s.cfg.Log.Printf("result store close: %v", err)
+		}
 		return nil
 	case <-ctx.Done():
 		s.cancel() // abort in-flight simulations
 		<-done
+		if err := s.store.Close(); err != nil {
+			s.cfg.Log.Printf("result store close: %v", err)
+		}
 		return ctx.Err()
 	}
 }

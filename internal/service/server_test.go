@@ -216,7 +216,8 @@ func TestDeadlineReportsCancelled(t *testing.T) {
 }
 
 // TestGracefulShutdownDrains: Shutdown must wait for the in-flight job,
-// flip healthz to 503, refuse new work, and report the job completed.
+// flip readyz to 503 (while healthz keeps reporting the process alive),
+// refuse new work, and report the job completed.
 func TestGracefulShutdownDrains(t *testing.T) {
 	started := make(chan *Job, 1)
 	release := make(chan struct{})
@@ -236,14 +237,24 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		shutdownDone <- srv.Shutdown(ctx)
 	}()
 
-	// Draining: probes fail fast, intake refuses.
+	// Draining: readiness flips so routers stop sending work, liveness
+	// stays green (the process is alive, finishing its backlog), intake
+	// refuses.
 	waitFor(t, func() bool { return srv.Draining() })
-	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil {
 		t.Fatal(err)
 	} else {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusServiceUnavailable {
-			t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+			t.Errorf("readyz while draining = %d, want 503", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz while draining = %d, want 200 (liveness, not readiness)", resp.StatusCode)
 		}
 	}
 	if code, _, _ := postRun(t, ts, `{"workload":"milc","policy":"baseline","seed":12}`); code != http.StatusServiceUnavailable {

@@ -2,13 +2,22 @@ package service
 
 import (
 	"container/list"
+	"encoding/json"
 	"sync"
+
+	"repro/internal/castore"
 )
 
-// Store is a fixed-capacity LRU of completed run results, keyed by the
-// experiments memo key prefixed with the sizing fingerprint (see specOf).
-// Results are small (a flat metrics struct), so the store bounds daemon
-// memory even though the underlying simulations are not retained.
+// Store is a fixed-capacity in-memory LRU of completed run results keyed
+// by canonical spec hash, optionally layered over a disk-backed
+// content-addressed store (read-through on Get, write-behind on Put).
+// Results are small (a flat metrics struct), so the memory tier bounds
+// daemon memory even though the underlying simulations are not retained;
+// the disk tier makes results survive a restart.
+//
+// Get returns a private copy: callers own what they receive and cannot
+// mutate the cached entry (or each other's view of it) through the
+// returned pointer.
 type Store struct {
 	mu    sync.Mutex
 	cap   int
@@ -16,6 +25,20 @@ type Store struct {
 	items map[string]*list.Element
 
 	evictions uint64
+
+	// disk is the durable tier; nil runs memory-only. Writes flow through
+	// diskCh to a single writer goroutine so simulation workers never
+	// block on disk IO or the castore lock.
+	disk      *castore.Store
+	diskCh    chan diskWrite
+	diskDone  chan struct{}
+	diskClose sync.Once
+}
+
+// diskWrite is one queued write-behind operation.
+type diskWrite struct {
+	key     string
+	payload []byte
 }
 
 // storeItem is one LRU node.
@@ -24,31 +47,91 @@ type storeItem struct {
 	res *RunResult
 }
 
-// NewStore builds a store holding at most capacity results.
-func NewStore(capacity int) *Store {
+// NewStore builds a memory-only store holding at most capacity results.
+func NewStore(capacity int) *Store { return NewStoreWithDisk(capacity, nil) }
+
+// NewStoreWithDisk builds a store layered over disk (which may be nil for
+// memory-only). The caller hands ownership of disk to the store; Close
+// flushes pending writes and closes it.
+func NewStoreWithDisk(capacity int, disk *castore.Store) *Store {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Store{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+	st := &Store{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		disk:  disk,
+	}
+	if disk != nil {
+		st.diskCh = make(chan diskWrite, 64)
+		st.diskDone = make(chan struct{})
+		go st.diskWriter()
+	}
+	return st
 }
 
-// Get returns the cached result for key, promoting it to most recent.
+// diskWriter drains queued writes into the castore.
+func (st *Store) diskWriter() {
+	defer close(st.diskDone)
+	for w := range st.diskCh {
+		// Errors are already counted in the castore's own stats
+		// (slip_castore_errors); a failed write just means this result is
+		// memory-only until re-simulated.
+		_ = st.disk.Put(w.key, w.payload)
+	}
+}
+
+// Get returns a copy of the cached result for key, promoting it to most
+// recent. A memory miss falls through to the disk tier; a disk hit is
+// promoted back into memory.
 func (st *Store) Get(key string) (*RunResult, bool) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	el, ok := st.items[key]
+	if el, ok := st.items[key]; ok {
+		st.ll.MoveToFront(el)
+		res := el.Value.(*storeItem).res.Clone()
+		st.mu.Unlock()
+		return res, true
+	}
+	st.mu.Unlock()
+
+	if st.disk == nil {
+		return nil, false
+	}
+	payload, ok := st.disk.Get(key)
 	if !ok {
 		return nil, false
 	}
-	st.ll.MoveToFront(el)
-	return el.Value.(*storeItem).res, true
+	var res RunResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		// The checksum passed, so this is a format drift (e.g. an old
+		// incompatible entry), not corruption; treat as a miss.
+		return nil, false
+	}
+	st.mu.Lock()
+	st.putMemLocked(key, &res)
+	st.mu.Unlock()
+	return res.Clone(), true
 }
 
-// Put inserts (or refreshes) a result, evicting the least-recently-used
-// entry when over capacity.
+// Put inserts (or refreshes) a result in memory and queues the durable
+// write. The store keeps its own copy, so later caller-side mutation of
+// res cannot corrupt the cache.
 func (st *Store) Put(key string, res *RunResult) {
+	kept := res.Clone()
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.putMemLocked(key, kept)
+	st.mu.Unlock()
+	if st.disk == nil {
+		return
+	}
+	if payload, err := json.Marshal(kept); err == nil {
+		st.diskCh <- diskWrite{key: key, payload: payload}
+	}
+}
+
+// putMemLocked is the memory-tier insert; call with st.mu held.
+func (st *Store) putMemLocked(key string, res *RunResult) {
 	if el, ok := st.items[key]; ok {
 		el.Value.(*storeItem).res = res
 		st.ll.MoveToFront(el)
@@ -63,14 +146,37 @@ func (st *Store) Put(key string, res *RunResult) {
 	}
 }
 
-// Len is the current number of cached results.
+// Close flushes queued disk writes and closes the disk tier (persisting
+// its index). Memory-only stores close trivially. Callers must not Put
+// after Close; the server only closes once its workers have exited.
+func (st *Store) Close() error {
+	if st.disk == nil {
+		return nil
+	}
+	st.diskClose.Do(func() {
+		close(st.diskCh)
+	})
+	<-st.diskDone
+	return st.disk.Close()
+}
+
+// DiskStats snapshots the durable tier's counters; all zeros when the
+// store is memory-only.
+func (st *Store) DiskStats() castore.Stats {
+	if st.disk == nil {
+		return castore.Stats{}
+	}
+	return st.disk.Stats()
+}
+
+// Len is the current number of memory-cached results.
 func (st *Store) Len() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.ll.Len()
 }
 
-// Evictions counts entries dropped to stay within capacity.
+// Evictions counts memory entries dropped to stay within capacity.
 func (st *Store) Evictions() uint64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()

@@ -24,23 +24,37 @@ type RunRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// normalize stamps server defaults into unset sizing fields; call before
-// spec/key derivation so equal effective requests share one result-store
-// key.
-func (r *RunRequest) normalize(cfg Config) {
+// Defaults are the sizing values stamped into unset request fields before
+// key derivation. The gateway applies the same defaults as its backends so
+// both sides derive the same key — and therefore the same shard — for the
+// same request body.
+type Defaults struct {
+	Accesses uint64
+	Warmup   *uint64 // nil = same as the (possibly defaulted) Accesses
+	Seed     uint64
+}
+
+// ApplyDefaults stamps d into unset sizing fields; call before spec/key
+// derivation so equal effective requests share one result-store key.
+func (r *RunRequest) ApplyDefaults(d Defaults) {
 	if r.Accesses == 0 {
-		r.Accesses = cfg.DefaultAccesses
+		r.Accesses = d.Accesses
 	}
 	if r.Warmup == nil {
 		w := r.Accesses
-		if cfg.DefaultWarmup != nil {
-			w = *cfg.DefaultWarmup
+		if d.Warmup != nil {
+			w = *d.Warmup
 		}
 		r.Warmup = &w
 	}
 	if r.Seed == 0 {
-		r.Seed = cfg.DefaultSeed
+		r.Seed = d.Seed
 	}
+}
+
+// normalize applies the server config's defaults.
+func (r *RunRequest) normalize(cfg Config) {
+	r.ApplyDefaults(Defaults{Accesses: cfg.DefaultAccesses, Warmup: cfg.DefaultWarmup, Seed: cfg.DefaultSeed})
 }
 
 // specOf canonicalizes a normalized request into the run's full identity:
@@ -99,6 +113,23 @@ type RunResult struct {
 	SimSeconds float64 `json:"sim_seconds"`
 
 	Spec spec.Spec `json:"spec"`
+}
+
+// Clone returns an independent deep copy: the struct is value-copied and
+// the spec's pointer fields (Warmup, DRAM) are re-allocated, so mutating
+// the clone can never reach the original. The result store hands out and
+// retains only clones — cached entries are immutable from the outside.
+func (r *RunResult) Clone() *RunResult {
+	c := *r
+	if r.Spec.Warmup != nil {
+		w := *r.Spec.Warmup
+		c.Spec.Warmup = &w
+	}
+	if r.Spec.DRAM != nil {
+		d := *r.Spec.DRAM
+		c.Spec.DRAM = &d
+	}
+	return &c
 }
 
 // hitRate guards the zero-access division.
