@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/policy"
 	"repro/internal/spec"
 	"repro/internal/workloads"
 )
@@ -74,6 +75,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "random seed")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+		listPol  = flag.Bool("list-policies", false, "list the registered policies and exit")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for simulations (1 = sequential)")
 		dumpSpec = flag.Bool("dump-spec", false, "print the selected experiments' canonical run specs as JSON and exit")
 		specIn   = flag.String("spec", "", "simulate a JSON spec list from this file instead of -exp ('-' for stdin)")
@@ -98,6 +100,14 @@ func main() {
 	if *list {
 		for _, n := range workloads.Names() {
 			fmt.Println(n)
+		}
+		return
+	}
+	if *listPol {
+		// One line per registered policy, from the same registry the
+		// simulator dispatches on (slipsim -list-policies has the long form).
+		for _, d := range policy.Descriptors() {
+			fmt.Printf("%-14s %s\n", d.Name, d.Doc)
 		}
 		return
 	}

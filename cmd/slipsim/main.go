@@ -11,6 +11,7 @@
 //	slipsim -spec run.json                       # run a declarative spec file
 //	slipsim -workload mcf -dump-spec             # print the canonical spec
 //	slipsim -trace file.trc -policy baseline     # replay a tracegen file
+//	slipsim -list-policies                       # enumerate the policy registry
 //
 // The flags and the -spec file describe the same canonical simulation spec
 // (see internal/spec): -dump-spec prints the canonical JSON the flags
@@ -25,10 +26,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/hier"
+	"repro/internal/policy"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -44,7 +48,8 @@ func main() {
 	var (
 		wl       = flag.String("workload", "soplex", "benchmark name (see slipbench -list)")
 		wl2      = flag.String("workload2", "", "second core's benchmark (with -cores 2)")
-		policyFl = flag.String("policy", "slip+abp", "baseline|slip|slip+abp|nurapid|lru-pea")
+		policyFl = flag.String("policy", "slip+abp",
+			"policy name, one of: "+strings.Join(hier.PolicyNames(), "|")+" (see -list-policies)")
 		acc      = flag.Uint64("accesses", 2_000_000, "measured accesses")
 		warm     = flag.Uint64("warmup", 2_000_000, "warmup accesses before stats reset")
 		seed     = flag.Uint64("seed", 42, "random seed")
@@ -60,8 +65,14 @@ func main() {
 		useTC    = flag.Bool("trace-cache", false, "materialize each trace once and replay it (as the experiment engine does); results are bit-identical")
 		useWC    = flag.Bool("warm-cache", false, "warm a separate hierarchy and measure on a snapshot clone (the experiment engine's warm-cache path); results are bit-identical")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		listPol  = flag.Bool("list-policies", false, "list the registered policies with their metadata and exit")
 	)
 	flag.Parse()
+
+	if *listPol {
+		listPolicies(os.Stdout)
+		return
+	}
 
 	// Resolve the run description: a spec file, or the flags translated
 	// into the same declarative form.
@@ -175,6 +186,30 @@ func main() {
 	}
 	sys.Run(limit(c.Accesses)...)
 	report(sys, cfg.Policy)
+}
+
+// listPolicies renders the policy registry: every run-nable policy with
+// its aliases and capability bits, straight from the descriptors the
+// simulator itself dispatches on.
+func listPolicies(w io.Writer) {
+	tb := stats.NewTable("Registered policies", "name", "aliases", "metadata", "latency", "machinery", "description")
+	for _, d := range policy.Descriptors() {
+		meta, lat, mach := "none", "per-way", "-"
+		if d.UsesMetadata {
+			meta = "12b sidecar"
+		}
+		if d.UniformLatency {
+			lat = "uniform"
+		}
+		if d.SLIPMachinery {
+			mach = "MMU+EOU"
+			if d.AllowABP {
+				mach = "MMU+EOU+ABP"
+			}
+		}
+		tb.AddRow(d.Name, strings.Join(d.Aliases, ","), meta, lat, mach, d.Doc)
+	}
+	fmt.Fprintln(w, tb.String())
 }
 
 // runTrace replays a tracegen file through a single-core system.

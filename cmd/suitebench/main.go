@@ -24,6 +24,12 @@
 //     error of per-level miss ratios, energy and EDP, written to
 //     BENCH_sampling.json.
 //
+//   - a cross-policy comparison of every policy in the registry (the
+//     paper's comparison set and any registry-only additions) over the
+//     matrix benchmarks: mean energy/EDP with savings vs baseline, written
+//     to BENCH_policies.json plus a markdown table (BENCH_policies.md)
+//     that EXPERIMENTS.md embeds.
+//
 // Usage:
 //
 //	suitebench [-accesses N] [-warmup N] [-benchmarks a,b,c]
@@ -31,6 +37,7 @@
 //	           [-replay-benchmarks a,b,c] [-replay-out BENCH_replay.json]
 //	           [-scaling-workers 1,2,4,8,16] [-scaling-out BENCH_scaling.json]
 //	           [-sampling-factors 2,4,8,16] [-sampling-out BENCH_sampling.json]
+//	           [-policies-out BENCH_policies.json] [-policies-md BENCH_policies.md]
 //	           [-mutexprofile mutex.out] [-blockprofile block.out]
 //
 // -mutexprofile and -blockprofile (mirroring slipsim's -cpuprofile) record
@@ -179,6 +186,8 @@ func main() {
 		sampleO  = flag.String("sampling-out", "BENCH_sampling.json", "set-sampling calibration output JSON path (empty skips the pass)")
 		sampleF  = flag.String("sampling-factors", "2,4,8,16", "comma-separated sampling factors for the calibration pass")
 		sampleB  = flag.String("sampling-benchmarks", "", "benchmark set for the calibration pass (default: all, the fig9 matrix)")
+		policyO  = flag.String("policies-out", "BENCH_policies.json", "cross-policy comparison output JSON path (empty skips the pass)")
+		policyMD = flag.String("policies-md", "BENCH_policies.md", "cross-policy comparison markdown table path (empty skips the table)")
 	)
 	flag.Parse()
 
@@ -366,7 +375,10 @@ func main() {
 		*parallel, res.Speedup)
 	fmt.Printf("wrote %s\n", *out)
 
-	rpols := []hier.PolicyKind{hier.Baseline, hier.NuRAPID, hier.LRUPEA, hier.SLIP, hier.SLIPABP}
+	// The fig9 comparison set (baseline + the paper's evaluated policies),
+	// enumerated from the policy registry so the replay/scaling passes track
+	// whatever is registered with an EvalOrder.
+	rpols := append([]hier.PolicyKind{hier.Baseline}, experiments.EvalPolicies()...)
 	polNames := make([]string, len(rpols))
 	for i, p := range rpols {
 		polNames[i] = fmt.Sprint(p)
@@ -431,6 +443,37 @@ func main() {
 			rres.MatrixRuns, off.Round(time.Millisecond), on.Round(time.Millisecond), rres.Speedup,
 			rres.TraceCacheMisses, float64(rres.TraceCacheBytes)/(1<<20), rres.TraceCacheHits)
 		fmt.Printf("wrote %s\n", *replayO)
+	}
+
+	if *policyO != "" {
+		// Cross-policy comparison: every *registered* policy — not just the
+		// paper's comparison set — over the matrix benchmarks, summarized as
+		// mean energy/EDP with savings vs baseline. This is the table
+		// EXPERIMENTS.md embeds and the CI policy-matrix job uploads.
+		pOpts := experiments.Options{
+			Accesses:    *acc,
+			Warmup:      *warm,
+			WarmupSet:   true,
+			Seed:        7,
+			Benchmarks:  benchSet,
+			Parallelism: *parallel,
+		}
+		cmp, err := experiments.ComparePolicies(context.Background(), pOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeJSON(*policyO, cmp)
+		fmt.Printf("cross-policy comparison (%d policies x %d benchmarks):\n%s",
+			len(cmp.Rows), len(cmp.Benchmarks), cmp.Markdown())
+		fmt.Printf("wrote %s\n", *policyO)
+		if *policyMD != "" {
+			if err := os.WriteFile(*policyMD, []byte(cmp.Markdown()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *policyMD)
+		}
 	}
 
 	if *sampleO != "" {

@@ -11,15 +11,16 @@ import "repro/internal/mem"
 // measured run its own copy.
 func (l *Level) Clone() *Level {
 	c := &Level{
-		cfg:     l.cfg,
-		name:    l.name,
-		numSets: l.numSets,
-		ways:    l.ways,
-		repl:    l.repl.Clone(),
-		mq:      l.mq.Clone(),
-		est:     l.est,
-		T:       l.T,
-		Stats:   l.Stats,
+		cfg:         l.cfg,
+		name:        l.name,
+		numSets:     l.numSets,
+		ways:        l.ways,
+		repl:        l.repl.Clone(),
+		mq:          l.mq.Clone(),
+		est:         l.est,
+		T:           l.T,
+		activeLines: l.activeLines,
+		Stats:       l.Stats,
 	}
 	c.sets = make([][]Line, len(l.sets))
 	lines := make([]Line, l.numSets*l.ways)

@@ -127,6 +127,9 @@ type Level struct {
 	valid []WayMask
 	// T is the level access counter driving timestamps (Section 4.1).
 	T uint64
+	// activeLines is the capacity actually driven under set sampling
+	// (Lines()/SampleDiv, min 1); equal to Lines() at full fidelity.
+	activeLines uint64
 
 	Stats Stats
 }
@@ -172,6 +175,7 @@ func New(cfg Config) *Level {
 			estLines = 1
 		}
 	}
+	l.activeLines = estLines
 	l.est = core.NewRDEstimator(estLines)
 	l.Stats.HitsPerSublevel = make([]uint64, len(cfg.Params.SublevelWays))
 	return l
@@ -188,6 +192,12 @@ func (l *Level) NumWays() int { return l.ways }
 
 // Lines returns the level capacity in cache lines.
 func (l *Level) Lines() uint64 { return uint64(l.numSets * l.ways) }
+
+// ActiveLines returns the capacity the driven access stream actually
+// exercises: Lines() at full fidelity, Lines()/K under 1/K set sampling.
+// Capacity-relative policy thresholds must use this so they hold on the
+// thinned stream the drivers see.
+func (l *Level) ActiveLines() uint64 { return l.activeLines }
 
 // Params returns the energy/latency constants.
 func (l *Level) Params() *energy.LevelParams { return l.cfg.Params }

@@ -2,11 +2,27 @@ package experiments
 
 import (
 	"repro/internal/hier"
+	"repro/internal/policy"
 	"repro/internal/stats"
 )
 
-// evalPolicies is the Section 5 comparison set in presentation order.
-var evalPolicies = []hier.PolicyKind{hier.NuRAPID, hier.LRUPEA, hier.SLIP, hier.SLIPABP}
+// evalPolicies is the Section 5 comparison set in presentation order,
+// enumerated from the policy registry (descriptors with EvalOrder > 0;
+// registry-only additions stay out so the paper figures keep their exact
+// shape).
+var evalPolicies = func() []hier.PolicyKind {
+	var out []hier.PolicyKind
+	for _, rank := range policy.EvalRanks() {
+		out = append(out, hier.PolicyKind(rank))
+	}
+	return out
+}()
+
+// EvalPolicies returns the paper's comparison policies in presentation
+// order (a copy; callers may append).
+func EvalPolicies() []hier.PolicyKind {
+	return append([]hier.PolicyKind(nil), evalPolicies...)
+}
 
 // Fig9Result is the per-benchmark L2/L3 energy savings of every policy
 // versus the baseline (negative = overhead, as for NuRAPID and LRU-PEA).

@@ -17,6 +17,7 @@ import (
 //	GET  /v1/runs/{id}                  proxy to the job's backend (route table)
 //	GET  /v1/results/{key}              shard by key, scan fallback
 //	GET  /v1/experiments/{name}         shard by experiment name
+//	GET  /v1/policies                   policy registry (answered locally)
 //	GET  /healthz                       gateway liveness
 //	GET  /readyz                        200 iff >= 1 backend accepts new work
 //	GET  /metrics                       Prometheus text format
@@ -29,6 +30,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", g.handleGetRun)
 	mux.HandleFunc("GET /v1/results/{key}", g.handleGetResult)
 	mux.HandleFunc("GET /v1/experiments/{name}", g.handleExperiment)
+	mux.HandleFunc("GET /v1/policies", g.handlePolicies)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /readyz", g.handleReadyz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
@@ -48,6 +50,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handlePolicies answers locally: the registry is compiled into every
+// binary of the cluster, so the gateway is as authoritative as any
+// backend and the answer stays available with zero healthy nodes.
+func (g *Gateway) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, service.Policies())
 }
 
 // backendHeader names the answering backend on every proxied response, so

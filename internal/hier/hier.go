@@ -20,64 +20,69 @@ import (
 	"repro/internal/policy"
 )
 
-// PolicyKind selects the lower-level cache management policy.
+// PolicyKind is a thin handle onto the policy registry: its numeric value
+// is the registering driver's rank (see policy.Register), so the zero
+// value stays the baseline and existing call sites keep compiling. All
+// naming, parsing and capability questions delegate to the registered
+// Descriptor — hier no longer enumerates policies anywhere.
 type PolicyKind int
 
-// The five policies of the evaluation (Section 5).
+// Named handles for the registered policies: the paper's Section 5
+// comparison set plus the post-publication registry additions. The
+// constants track the registration ranks; TestPolicyRegistryProjection
+// guards the alignment.
 const (
 	Baseline PolicyKind = iota
 	SLIP                // SLIP without the All-Bypass Policy
 	SLIPABP             // SLIP with ABP in the candidate pool
 	NuRAPID
 	LRUPEA
+	ReuseBypass // Reuse Detector insertion bypass
+	LWRP        // least weighted reuse probability replacement
 )
+
+// Descriptor returns the policy's registry entry (nil for an invalid
+// handle).
+func (p PolicyKind) Descriptor() *policy.Descriptor { return policy.ByIndex(int(p)) }
 
 // String names the policy.
 func (p PolicyKind) String() string {
-	switch p {
-	case Baseline:
-		return "baseline"
-	case SLIP:
-		return "slip"
-	case SLIPABP:
-		return "slip+abp"
-	case NuRAPID:
-		return "nurapid"
-	case LRUPEA:
-		return "lru-pea"
-	default:
-		return fmt.Sprintf("policy(%d)", int(p))
+	if d := p.Descriptor(); d != nil {
+		return d.Name
 	}
+	return fmt.Sprintf("policy(%d)", int(p))
 }
 
 // IsSLIP reports whether the policy uses the SLIP machinery (MMU sampling,
 // EOU, PTE codes).
-func (p PolicyKind) IsSLIP() bool { return p == SLIP || p == SLIPABP }
-
-// PolicyNames lists the canonical policy names in declaration order.
-func PolicyNames() []string {
-	return []string{"baseline", "slip", "slip+abp", "nurapid", "lru-pea"}
+func (p PolicyKind) IsSLIP() bool {
+	d := p.Descriptor()
+	return d != nil && d.SLIPMachinery
 }
 
-// ParsePolicy is the inverse of PolicyKind.String. It also accepts the
-// historical aliases ("slip-abp"/"slipabp" for slip+abp, "lrupea" for
-// lru-pea) and is the single parser shared by CLI flags, spec files and the
-// slipd wire format.
-func ParsePolicy(name string) (PolicyKind, error) {
-	switch name {
-	case "baseline":
-		return Baseline, nil
-	case "slip":
-		return SLIP, nil
-	case "slip+abp", "slip-abp", "slipabp":
-		return SLIPABP, nil
-	case "nurapid":
-		return NuRAPID, nil
-	case "lru-pea", "lrupea":
-		return LRUPEA, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q (valid: %s)", name, strings.Join(PolicyNames(), ", "))
+// PolicyNames lists the canonical policy names in registry rank order.
+func PolicyNames() []string { return policy.Names() }
+
+// AllPolicies lists every registered policy's handle in rank order.
+func AllPolicies() []PolicyKind {
+	out := make([]PolicyKind, 0, policy.Count())
+	for i := 0; i < policy.Count(); i++ {
+		if policy.ByIndex(i) != nil {
+			out = append(out, PolicyKind(i))
+		}
 	}
+	return out
+}
+
+// ParsePolicy is the inverse of PolicyKind.String. It also accepts each
+// policy's registered aliases ("slip-abp"/"slipabp" for slip+abp, "lrupea"
+// for lru-pea) and is the single parser shared by CLI flags, spec files
+// and the slipd wire format.
+func ParsePolicy(name string) (PolicyKind, error) {
+	if i, _, ok := policy.Resolve(name); ok {
+		return PolicyKind(i), nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (valid: %s)", name, strings.Join(PolicyNames(), ", "))
 }
 
 // Config describes a system to simulate. Zero-value fields default to the
@@ -213,6 +218,10 @@ type System struct {
 // New builds a system.
 func New(cfg Config) *System {
 	cfg.fillDefaults()
+	desc := cfg.Policy.Descriptor()
+	if desc == nil {
+		panic(fmt.Sprintf("hier: unknown policy %v", cfg.Policy))
+	}
 	s := &System{cfg: cfg, rdScale: 1}
 	if cfg.SampleK > 1 {
 		if cfg.SampleK > 64 || 64%cfg.SampleK != 0 {
@@ -231,7 +240,7 @@ func New(cfg Config) *System {
 	s.defCodeL2 = s.encL2.DefaultCode()
 	s.defCodeL3 = s.encL3.DefaultCode()
 
-	chargeMeta := cfg.Policy != Baseline
+	chargeMeta := desc.UsesMetadata
 	s.l3 = cache.New(cache.Config{
 		Params:         cfg.L3Params,
 		Bytes:          cfg.L3Bytes,
@@ -263,7 +272,7 @@ func New(cfg Config) *System {
 		if d, ok := cn.d2.(*policy.SLIP); ok {
 			s.slipL2 = append(s.slipL2, d)
 		}
-		if cfg.Policy.IsSLIP() {
+		if desc.SLIPMachinery {
 			mc := mmu.Config{
 				Seed:            cfg.Seed + uint64(i)*31,
 				BinBits:         cfg.BinBits,
@@ -282,8 +291,8 @@ func New(cfg Config) *System {
 		s.cores = append(s.cores, cn)
 	}
 
-	if cfg.Policy.IsSLIP() {
-		allowABP := cfg.Policy == SLIPABP
+	if desc.SLIPMachinery {
+		allowABP := desc.AllowABP
 		l2 := s.cores[0].l2
 		geom2 := slipcore.LevelGeom{
 			SublevelWays:  cfg.L2Params.SublevelWays,
@@ -319,24 +328,18 @@ func sublevelLines(l *cache.Level) []uint64 {
 	return out
 }
 
-// newDriver instantiates the policy driver for a level (2 or 3).
+// newDriver instantiates the policy driver for a level (2 or 3) via the
+// registered constructor.
 func (s *System) newDriver(level int, seed uint64) policy.Driver {
-	switch s.cfg.Policy {
-	case Baseline:
-		return policy.NewBaseline()
-	case SLIP, SLIPABP:
-		n := len(s.cfg.L2Params.SublevelWays)
-		if level == 3 {
-			n = len(s.cfg.L3Params.SublevelWays)
-		}
-		return policy.NewSLIP(n, level)
-	case NuRAPID:
-		return policy.NewNuRAPID()
-	case LRUPEA:
-		return policy.NewLRUPEA(seed)
-	default:
+	desc := s.cfg.Policy.Descriptor()
+	if desc == nil {
 		panic(fmt.Sprintf("hier: unknown policy %v", s.cfg.Policy))
 	}
+	n := len(s.cfg.L2Params.SublevelWays)
+	if level == 3 {
+		n = len(s.cfg.L3Params.SublevelWays)
+	}
+	return desc.New(policy.DriverConfig{Level: level, NumSublevels: n, Seed: seed})
 }
 
 // Config returns the (default-filled) configuration.

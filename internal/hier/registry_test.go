@@ -1,0 +1,145 @@
+package hier
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// TestPolicyRegistryProjection guards the alignment between the named
+// PolicyKind constants and the registry ranks behind them: the constants
+// are the compile-time spelling of the registry order, and every
+// downstream numeric handle (configs, maps, persisted artifacts) assumes
+// they agree.
+func TestPolicyRegistryProjection(t *testing.T) {
+	want := map[PolicyKind]string{
+		Baseline:    "baseline",
+		SLIP:        "slip",
+		SLIPABP:     "slip+abp",
+		NuRAPID:     "nurapid",
+		LRUPEA:      "lru-pea",
+		ReuseBypass: "reuse-bypass",
+		LWRP:        "lwrp",
+	}
+	if len(want) != len(AllPolicies()) {
+		t.Fatalf("registry has %d policies, constants name %d", len(AllPolicies()), len(want))
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+		if k.Descriptor() == nil {
+			t.Fatalf("%s has no descriptor", name)
+		}
+		parsed, err := ParsePolicy(name)
+		if err != nil || parsed != k {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", name, parsed, err, k)
+		}
+	}
+	// PolicyNames is the registry's rank-order projection.
+	if got, wantNames := strings.Join(PolicyNames(), " "),
+		"baseline slip slip+abp nurapid lru-pea reuse-bypass lwrp"; got != wantNames {
+		t.Errorf("PolicyNames() = %q, want %q", got, wantNames)
+	}
+	// Invalid handles degrade without panicking and never parse back.
+	bogus := PolicyKind(len(AllPolicies()) + 5)
+	if bogus.Descriptor() != nil || bogus.IsSLIP() {
+		t.Error("out-of-range PolicyKind resolved a descriptor")
+	}
+	if !strings.Contains(bogus.String(), "policy(") {
+		t.Errorf("out-of-range String() = %q", bogus.String())
+	}
+	if _, err := ParsePolicy(bogus.String()); err == nil {
+		t.Error("ParsePolicy accepted the invalid-handle rendering")
+	}
+}
+
+// TestParsePolicyErrorListsRegistry pins the satellite fix: the
+// unknown-name error renders the valid set from the registry, so it can
+// never drift from what actually parses.
+func TestParsePolicyErrorListsRegistry(t *testing.T) {
+	_, err := ParsePolicy("mru")
+	if err == nil {
+		t.Fatal("ParsePolicy(\"mru\") succeeded")
+	}
+	for _, name := range PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered policy %q", err, name)
+		}
+	}
+}
+
+// TestRegistryPoliciesRunDeterministically drives every registered policy
+// — crucially including the registry-only drivers that no dispatch switch
+// ever names — through the full hierarchy twice, at full fidelity and
+// under set sampling, and requires bit-identical digests. Together with
+// TestSnapshotRestoreBitIdentity (which ranges over the same registry)
+// this is the end-to-end proof for the reuse-bypass and lwrp seam.
+func TestRegistryPoliciesRunDeterministically(t *testing.T) {
+	for _, p := range AllPolicies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(cfg Config) string {
+				sys := New(cfg)
+				sys.Run(trace.Limit(mixedSource(3), 150_000))
+				return stateDigest(sys)
+			}
+			full := Config{Policy: p, Seed: 11}
+			if a, b := run(full), run(full); a != b {
+				t.Fatal("full-fidelity run is not deterministic")
+			}
+			sampled := Config{Policy: p, Seed: 11, SampleK: 4, SampleMask: 0x1111_1111_1111_1111}
+			if a, b := run(sampled), run(sampled); a != b {
+				t.Fatal("set-sampled run is not deterministic")
+			}
+		})
+	}
+}
+
+// TestReuseBypassBypasses confirms the reuse-bypass driver actually
+// exercises its seam: a cache-thrashing stream (loop far larger than L2)
+// must produce L2 bypasses, and a cache-friendly stream must not.
+func TestReuseBypassBypasses(t *testing.T) {
+	// A loop of 2x the 256KB L2 thrashes it (every reuse distance ~8K
+	// lines against 4K capacity) while still fitting twice inside the
+	// detector's 4x-capacity epoch, so the second lap proves the distance.
+	thrash := New(Config{Policy: ReuseBypass, Seed: 3})
+	thrash.Run(trace.Limit(loopSource(9, 512*mem.KB), 300_000))
+	if got := thrash.L2(0).Stats.Bypasses.Value(); got == 0 {
+		t.Error("thrashing stream produced no L2 bypasses")
+	}
+
+	// A 64KB loop fits with room to spare: every proven distance is far
+	// below capacity, so nothing may bypass.
+	friendly := New(Config{Policy: ReuseBypass, Seed: 3})
+	friendly.Run(trace.Limit(loopSource(9, 64*mem.KB), 100_000))
+	if got := friendly.L2(0).Stats.Bypasses.Value(); got != 0 {
+		t.Errorf("cache-friendly stream produced %d L2 bypasses", got)
+	}
+}
+
+// TestLWRPKeepsReusedLines confirms the lwrp driver's scoring separates
+// it from the baseline mechanically: under a mixed stream its victim
+// choices must diverge from global LRU at some point (different digests),
+// while the hierarchy's accounting stays consistent (no lost lines: fills
+// = misses - bypasses at L2).
+func TestLWRPKeepsReusedLines(t *testing.T) {
+	run := func(p PolicyKind) *System {
+		sys := New(Config{Policy: p, Seed: 5})
+		sys.Run(trace.Limit(mixedSource(2), 200_000))
+		return sys
+	}
+	lw, base := run(LWRP), run(Baseline)
+	l2 := lw.L2(0)
+	if l2.Stats.Fills.Value() != l2.Stats.Misses.Value() {
+		t.Errorf("lwrp L2 fills %d != misses %d (lwrp never bypasses)",
+			l2.Stats.Fills.Value(), l2.Stats.Misses.Value())
+	}
+	if lw.L2(0).Stats.Hits.Value() == base.L2(0).Stats.Hits.Value() &&
+		lw.L3().Stats.Hits.Value() == base.L3().Stats.Hits.Value() {
+		t.Error("lwrp behaved identically to baseline on a mixed stream")
+	}
+}

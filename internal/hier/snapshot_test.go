@@ -58,8 +58,10 @@ func drain(src trace.Source, n uint64) trace.Source {
 	return src
 }
 
-// allPolicies is every shipped policy kind.
-var allPolicies = []PolicyKind{Baseline, SLIP, SLIPABP, NuRAPID, LRUPEA}
+// allPolicies is every registered policy kind: enumerating the registry
+// (rather than a hand-kept list) means a newly registered driver is under
+// the snapshot bit-identity proof the moment it exists.
+var allPolicies = AllPolicies()
 
 // TestSnapshotRestoreBitIdentity proves the tentpole's correctness claim
 // for every policy: a run resumed from a snapshot is bit-identical to one

@@ -52,6 +52,30 @@ func finishEviction(l *cache.Level, ln cache.Line, way int) {
 	l.NoteEviction(ln.Dirty)
 }
 
+func init() {
+	Register(0, Descriptor{
+		Name:           "baseline",
+		Doc:            "conventional hierarchy: global LRU insertion, no movement, no metadata",
+		UniformLatency: true,
+		New:            func(DriverConfig) Driver { return NewBaseline() },
+	})
+	Register(3, Descriptor{
+		Name:         "nurapid",
+		Doc:          "NuRAPID distance associativity: nearest d-group insertion, outward demotion, promotion on hit",
+		UsesMetadata: true,
+		EvalOrder:    1,
+		New:          func(DriverConfig) Driver { return NewNuRAPID() },
+	})
+	Register(4, Descriptor{
+		Name:         "lru-pea",
+		Aliases:      []string{"lrupea"},
+		Doc:          "LRU-PEA: random capacity-weighted sublevel insertion, stepwise promotion, demoted-first eviction",
+		UsesMetadata: true,
+		EvalOrder:    2,
+		New:          func(cfg DriverConfig) Driver { return NewLRUPEA(cfg.Seed) },
+	})
+}
+
 // Baseline is the conventional cache: insert anywhere (global LRU victim),
 // never move lines, no SLIP metadata.
 type Baseline struct{}

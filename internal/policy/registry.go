@@ -1,0 +1,177 @@
+package policy
+
+// The policy registry inverts the dependency between the drivers and
+// everything downstream of them: each driver file self-registers a
+// Descriptor at init time, and the hierarchy, spec validation, experiment
+// matrices, CLIs and daemons all enumerate the registry instead of
+// switching on an enum. Adding a policy is one file that calls Register;
+// no dispatch site changes.
+//
+// Ranks are explicit rather than derived from init order because Go runs
+// package inits in file-name order: a rank pins each policy's numeric
+// handle (hier.PolicyKind) no matter which file registers first, so the
+// zero value stays the baseline and persisted numeric handles never shift
+// when a driver file is added or renamed.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DriverConfig carries the per-level parameters a Descriptor's constructor
+// may need. Level is 2 or 3; NumSublevels is the level's sublevel count;
+// Seed is the level's private RNG seed (already decorrelated per core).
+type DriverConfig struct {
+	Level        int
+	NumSublevels int
+	Seed         uint64
+}
+
+// Descriptor is one policy's registry entry: its canonical name, accepted
+// aliases, the capability bits downstream layers used to hard-code per
+// enum value, and its constructor.
+type Descriptor struct {
+	// Name is the canonical policy name ("slip+abp"); it is what String
+	// renders, what canonical specs embed, and what hashes see.
+	Name string
+	// Aliases are additional accepted spellings ("slip-abp", "slipabp").
+	Aliases []string
+	// Doc is a one-line description for -list-policies and /v1/policies.
+	Doc string
+	// UsesMetadata reports whether levels under this policy charge
+	// 12b-metadata and movement-queue energy (every policy but baseline).
+	UsesMetadata bool
+	// UniformLatency reports whether hits cost the level's uniform
+	// baseline latency rather than per-way latency.
+	UniformLatency bool
+	// SLIPMachinery reports whether the hierarchy must build the SLIP
+	// support blocks (MMU sampling, EOU, PTE codes, distribution bins).
+	SLIPMachinery bool
+	// AllowABP admits the All-Bypass Policy into the EOU candidate pool
+	// (meaningful only with SLIPMachinery).
+	AllowABP bool
+	// EvalOrder places the policy in the paper's Section 5 comparison
+	// figures (1-based presentation order); 0 keeps it out of the paper
+	// figures (baseline, and policies added after publication).
+	EvalOrder int
+	// New constructs one level's driver instance.
+	New func(DriverConfig) Driver
+}
+
+var (
+	registry []*Descriptor  // indexed by rank; nil = unregistered hole
+	byName   map[string]int // canonical names and aliases -> rank
+)
+
+// Register adds a policy at the given rank (its stable numeric handle).
+// It panics on a duplicate rank, a name/alias collision, or an incomplete
+// descriptor — all programmer errors caught at init time. All validation
+// happens before any mutation, so a panicking Register leaves the
+// registry untouched.
+func Register(rank int, d Descriptor) {
+	if rank < 0 {
+		panic(fmt.Sprintf("policy: negative rank %d for %q", rank, d.Name))
+	}
+	if d.Name == "" {
+		panic(fmt.Sprintf("policy: descriptor at rank %d has no name", rank))
+	}
+	if d.New == nil {
+		panic(fmt.Sprintf("policy: descriptor %q has no constructor", d.Name))
+	}
+	if rank < len(registry) && registry[rank] != nil {
+		panic(fmt.Sprintf("policy: rank %d already registered as %q (adding %q)", rank, registry[rank].Name, d.Name))
+	}
+	names := append([]string{d.Name}, d.Aliases...)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" {
+			panic(fmt.Sprintf("policy: descriptor %q has an empty alias", d.Name))
+		}
+		if seen[n] {
+			panic(fmt.Sprintf("policy: descriptor %q repeats name %q", d.Name, n))
+		}
+		seen[n] = true
+		if prev, ok := byName[n]; ok {
+			panic(fmt.Sprintf("policy: name %q already taken by %q (adding %q)", n, registry[prev].Name, d.Name))
+		}
+	}
+
+	for rank >= len(registry) {
+		registry = append(registry, nil)
+	}
+	cp := d
+	cp.Aliases = append([]string(nil), d.Aliases...)
+	registry[rank] = &cp
+	if byName == nil {
+		byName = map[string]int{}
+	}
+	for _, n := range names {
+		byName[n] = rank
+	}
+}
+
+// Count returns the number of rank slots (registered policies occupy
+// ranks 0..Count()-1 with no holes once all init functions have run).
+func Count() int { return len(registry) }
+
+// ByIndex returns the descriptor registered at rank i, or nil when i is
+// out of range or unregistered.
+func ByIndex(i int) *Descriptor {
+	if i < 0 || i >= len(registry) {
+		return nil
+	}
+	return registry[i]
+}
+
+// Resolve maps a canonical name or alias to its rank and descriptor.
+func Resolve(name string) (int, *Descriptor, bool) {
+	i, ok := byName[name]
+	if !ok {
+		return 0, nil, false
+	}
+	return i, registry[i], true
+}
+
+// Names lists the canonical policy names in rank order — the single
+// source of the "valid policies" set quoted by flags, specs and errors.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, d := range registry {
+		if d != nil {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// Descriptors returns a copy of every registered descriptor in rank
+// order.
+func Descriptors() []Descriptor {
+	out := make([]Descriptor, 0, len(registry))
+	for _, d := range registry {
+		if d != nil {
+			cp := *d
+			cp.Aliases = append([]string(nil), d.Aliases...)
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// EvalRanks returns the ranks of the paper's comparison policies in
+// presentation order (ascending EvalOrder, excluding zero).
+func EvalRanks() []int {
+	type pe struct{ rank, ord int }
+	var l []pe
+	for i, d := range registry {
+		if d != nil && d.EvalOrder > 0 {
+			l = append(l, pe{i, d.EvalOrder})
+		}
+	}
+	sort.Slice(l, func(a, b int) bool { return l[a].ord < l[b].ord })
+	out := make([]int, len(l))
+	for i, e := range l {
+		out[i] = e.rank
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package policy
+
+// reuse-bypass is the first policy shipped purely through the registry: a
+// Reuse Detector-style insertion filter (PAPERS.md #4) on an otherwise
+// conventional cache. An online windowed stack-distance tracker watches
+// the level's access stream; a line whose observed reuse distance exceeds
+// the level's capacity would be evicted before its next use, so inserting
+// it only spends fill and eviction energy — such lines bypass the level
+// entirely. Cold lines (no evidence yet) get a first chance.
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/reuse"
+)
+
+func init() {
+	Register(5, Descriptor{
+		Name:           "reuse-bypass",
+		Aliases:        []string{"reusebypass", "rd-bypass"},
+		Doc:            "Reuse Detector bypass: lines whose observed reuse distance exceeds capacity skip insertion",
+		UsesMetadata:   true,
+		UniformLatency: true,
+		New:            func(DriverConfig) Driver { return NewReuseBypass() },
+	})
+}
+
+// ReuseBypass filters insertions by observed reuse distance; surviving
+// fills use the baseline global-LRU placement, and hits never move lines.
+type ReuseBypass struct {
+	// lines is the level's active capacity in lines, latched on first use
+	// (a pure function of the level geometry, so snapshot clones driven
+	// against fresh Level instances of the same shape re-derive the same
+	// value).
+	lines uint64
+	// win tracks stack distances over epochs of 4x the capacity — long
+	// enough to prove "distance >= capacity" for any line that could have
+	// been resident, small enough to stay O(capacity).
+	win *reuse.Windowed
+}
+
+// NewReuseBypass returns the driver; its tracker is sized lazily from the
+// first Level it is driven with.
+func NewReuseBypass() *ReuseBypass { return &ReuseBypass{} }
+
+// Name implements Driver.
+func (*ReuseBypass) Name() string { return "reuse-bypass" }
+
+// UsesMetadata implements Driver: the reuse detector is the sidecar
+// hardware this policy pays for.
+func (*ReuseBypass) UsesMetadata() bool { return true }
+
+// UniformLatency implements Driver: placement is conventional, so hits
+// pipeline like the baseline's.
+func (*ReuseBypass) UniformLatency() bool { return true }
+
+// ensure latches the capacity and sizes the tracker on first contact.
+func (r *ReuseBypass) ensure(l *cache.Level) {
+	if r.win == nil {
+		r.lines = l.ActiveLines()
+		r.win = reuse.NewWindowed(4 * r.lines)
+	}
+}
+
+// OnHit implements Driver: no movement, but the hit feeds the detector so
+// distances reflect the full demand stream, not just misses.
+func (r *ReuseBypass) OnHit(l *cache.Level, set, way int) {
+	r.ensure(l)
+	r.win.Observe(l.LineAt(set, way).Addr)
+}
+
+// Insert implements Driver: bypass when the line's observed reuse
+// distance proves it cannot survive to its next use; insert otherwise.
+func (r *ReuseBypass) Insert(l *cache.Level, a mem.LineAddr, dirty bool, meta cache.Meta) Outcome {
+	r.ensure(l)
+	d := r.win.Observe(a)
+	if d != reuse.Infinite && d >= r.lines {
+		l.NoteBypass()
+		return Outcome{Bypassed: true}
+	}
+	set := l.SetOf(a)
+	way := l.VictimIn(set, cache.FullMask(l.NumWays()))
+	ev := l.Fill(set, way, a, dirty, meta)
+	if ev.Valid {
+		finishEviction(l, ev, way)
+	}
+	return Outcome{Evicted: ev}
+}
+
+// Clone implements Driver: the tracker's mid-epoch history is deep-copied
+// so a snapshot clone bypasses exactly what the original would have.
+func (r *ReuseBypass) Clone() Driver {
+	cp := &ReuseBypass{lines: r.lines}
+	if r.win != nil {
+		cp.win = r.win.Clone()
+	}
+	return cp
+}

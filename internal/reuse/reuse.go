@@ -99,6 +99,21 @@ func (c *Calculator) Observe(l mem.LineAddr) uint64 {
 // Distinct returns the number of distinct lines seen so far.
 func (c *Calculator) Distinct() int { return len(c.last) }
 
+// Clone returns an independent deep copy: further Observes on either side
+// leave the other untouched.
+func (c *Calculator) Clone() *Calculator {
+	cp := &Calculator{
+		last:  make(map[mem.LineAddr]uint64, len(c.last)),
+		tree:  append([]uint64(nil), c.tree...),
+		marks: append([]bool(nil), c.marks...),
+		now:   c.now,
+	}
+	for k, v := range c.last {
+		cp.last[k] = v
+	}
+	return cp
+}
+
 // Histogram accumulates reuse distances into capacity bins, mirroring how
 // the paper quantizes distributions by cumulative sublevel capacity.
 // Bounds are line counts; infinite distances land in the last bin.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"repro/internal/experiments"
+	"repro/internal/policy"
 )
 
 // Handler builds the daemon's HTTP mux:
@@ -17,6 +18,7 @@ import (
 //	GET  /v1/runs/{id}          job status + result
 //	GET  /v1/results/{key}      fetch a stored result by spec hash (memory or disk)
 //	GET  /v1/experiments/{name} render a paper experiment as text tables
+//	GET  /v1/policies           enumerate the policy registry with metadata
 //	GET  /healthz               liveness (always 200 while the process serves)
 //	GET  /readyz                readiness (503 while draining)
 //	GET  /metrics               Prometheus text format
@@ -26,6 +28,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleGetResult)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/policies", handlePolicies)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -158,6 +161,51 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = buf.WriteTo(w)
+}
+
+// PolicyView is the wire form of one registry descriptor: everything a
+// client needs to stop hardcoding the valid-policy set.
+type PolicyView struct {
+	Name           string   `json:"name"`
+	Aliases        []string `json:"aliases,omitempty"`
+	Doc            string   `json:"doc"`
+	UsesMetadata   bool     `json:"uses_metadata"`
+	UniformLatency bool     `json:"uniform_latency"`
+	SLIPMachinery  bool     `json:"slip_machinery"`
+	AllowABP       bool     `json:"allow_abp"`
+	EvalOrder      int      `json:"eval_order,omitempty"`
+}
+
+// PolicyList enumerates the registry in rank order.
+type PolicyList struct {
+	Policies []PolicyView `json:"policies"`
+}
+
+// Policies snapshots the policy registry in wire form — shared by the
+// daemon's /v1/policies and the gateway's local answer to the same path.
+func Policies() PolicyList {
+	list := PolicyList{Policies: make([]PolicyView, 0, policy.Count())}
+	for _, d := range policy.Descriptors() {
+		list.Policies = append(list.Policies, PolicyView{
+			Name:           d.Name,
+			Aliases:        d.Aliases,
+			Doc:            d.Doc,
+			UsesMetadata:   d.UsesMetadata,
+			UniformLatency: d.UniformLatency,
+			SLIPMachinery:  d.SLIPMachinery,
+			AllowABP:       d.AllowABP,
+			EvalOrder:      d.EvalOrder,
+		})
+	}
+	return list
+}
+
+// handlePolicies serves the policy registry: the daemon-side source of
+// truth for the valid -policy set, per-policy aliases and capability
+// metadata. It needs no server state — the registry is process-global and
+// immutable after init.
+func handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Policies())
 }
 
 // handleGetResult serves a stored result by its canonical spec hash —
