@@ -7,7 +7,7 @@
 //	slipsim -workload soplex -policy slip+abp [-accesses N] [-warmup N]
 //	        [-seed N] [-cores 2 -workload2 mcf] [-rrip] [-binbits 4]
 //	        [-tech 22nm] [-topology h-tree] [-cpuprofile cpu.out]
-//	        [-trace-cache] [-warm-cache] [-sampling 8]
+//	        [-trace-cache] [-warm-cache] [-sampling 8] [-intra-parallelism 4]
 //	slipsim -spec run.json                       # run a declarative spec file
 //	slipsim -workload mcf -dump-spec             # print the canonical spec
 //	slipsim -trace file.trc -policy baseline     # replay a tracegen file
@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 
@@ -66,6 +67,7 @@ func main() {
 		useWC    = flag.Bool("warm-cache", false, "warm a separate hierarchy and measure on a snapshot clone (the experiment engine's warm-cache path); results are bit-identical")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		listPol  = flag.Bool("list-policies", false, "list the registered policies with their metadata and exit")
+		intraPar = flag.Int("intra-parallelism", 0, "intra-run shard count: split the run over N set-sharded replicas with a bit-identical merge (0 = min(GOMAXPROCS, 8), 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -170,6 +172,13 @@ func main() {
 		}
 		return out
 	}
+	// Intra-run sharding: both phases run on the set-sharded executor,
+	// whose merged result is bit-identical to the sequential run (it falls
+	// back to sequential for shard counts <= 1 or unshardable geometries).
+	intra := *intraPar
+	if intra <= 0 {
+		intra = min(runtime.GOMAXPROCS(0), 8)
+	}
 	switch {
 	case *useWC && *c.Warmup > 0:
 		// The experiment engine's warm-cache path: warm a separate
@@ -177,14 +186,14 @@ func main() {
 		// sources were advanced by the warmup run, so the clone sees the
 		// same measured stream a warmed-in-place system would.
 		ws := hier.New(cfg)
-		ws.Run(limit(*c.Warmup)...)
+		ws.RunSharded(intra, limit(*c.Warmup)...)
 		ws.ResetStats()
 		sys = ws.Snapshot().System()
 	case *c.Warmup > 0:
-		sys.Run(limit(*c.Warmup)...)
+		sys.RunSharded(intra, limit(*c.Warmup)...)
 		sys.ResetStats()
 	}
-	sys.Run(limit(c.Accesses)...)
+	sys.RunSharded(intra, limit(c.Accesses)...)
 	report(sys, cfg.Policy)
 }
 
@@ -285,7 +294,7 @@ func report(sys *hier.System, pol hier.PolicyKind) {
 		fmt.Printf("TLB: %d hits, %d misses; profile fetches %d, writebacks %d; EOU runs %d (%.0f pJ)\n\n",
 			m.Stats.TLBHits.Value(), m.Stats.TLBMisses.Value(),
 			m.Stats.ProfileFetches.Value(), m.Stats.ProfileWrites.Value(),
-			m.Stats.PolicyRecomputs.Value(), sys.EOUPJ)
+			m.Stats.PolicyRecomputs.Value(), sys.EOUPJ())
 	}
 
 	d := sys.DRAM()

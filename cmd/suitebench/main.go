@@ -30,6 +30,10 @@
 //     to BENCH_policies.json plus a markdown table (BENCH_policies.md)
 //     that EXPERIMENTS.md embeds.
 //
+//   - an intra-run parallelism sweep: one engine run timed per shard count
+//     of the set-sharded executor, written to BENCH_intra.json with the
+//     host CPU context and a cpu_bound flag.
+//
 // Usage:
 //
 //	suitebench [-accesses N] [-warmup N] [-benchmarks a,b,c]
@@ -38,6 +42,7 @@
 //	           [-scaling-workers 1,2,4,8,16] [-scaling-out BENCH_scaling.json]
 //	           [-sampling-factors 2,4,8,16] [-sampling-out BENCH_sampling.json]
 //	           [-policies-out BENCH_policies.json] [-policies-md BENCH_policies.md]
+//	           [-intra-sweep 1,2,4,8] [-intra-out BENCH_intra.json]
 //	           [-mutexprofile mutex.out] [-blockprofile block.out]
 //
 // -mutexprofile and -blockprofile (mirroring slipsim's -cpuprofile) record
@@ -127,9 +132,12 @@ type scalingResult struct {
 	// The hardware context the sweep ran under. Speedup beyond 1.0 needs
 	// real cores: a 1-CPU container caps every worker count at ~1.0x no
 	// matter how parallel the engine is, so readers must interpret the
-	// sweep against NumCPU.
-	GOMAXPROCS int `json:"gomaxprocs"`
-	NumCPU     int `json:"num_cpu"`
+	// sweep against NumCPU. CPUBound makes that machine-readable: true
+	// when the sweep asked for more workers than the host has CPUs, i.e.
+	// the upper points measure scheduling overhead, not engine scaling.
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	NumCPU     int  `json:"num_cpu"`
+	CPUBound   bool `json:"cpu_bound"`
 
 	Sweep []scalingPoint `json:"sweep"`
 
@@ -160,6 +168,34 @@ type samplingArtifact struct {
 	NumCPU     int `json:"num_cpu"`
 }
 
+// intraResult is the JSON schema of BENCH_intra.json: one experiment-engine
+// run (warmup + measured window, both sharded) timed per intra-run shard
+// count, on an otherwise idle pool. On a host with NumCPU < the shard count
+// the sweep cannot speed up — the points then measure the executor's
+// coordination and merge overhead instead, which is what CPUBound flags.
+type intraResult struct {
+	Benchmark      string `json:"benchmark"`
+	Policy         string `json:"policy"`
+	AccessesPerRun uint64 `json:"accesses_per_run"`
+	WarmupPerRun   uint64 `json:"warmup_per_run"`
+
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	NumCPU     int  `json:"num_cpu"`
+	CPUBound   bool `json:"cpu_bound"`
+
+	Points []intraPoint `json:"points"`
+}
+
+// intraPoint is one shard count of the intra-run sweep. Speedup is against
+// the S=1 (sequential) point; below 1.0 it is the sharding overhead — on a
+// cpu-bound host that is the expected shape, and its magnitude bounds the
+// coordination + merge cost since the simulated work itself is identical.
+type intraPoint struct {
+	Shards  int     `json:"shards"`
+	WallNs  int64   `json:"wall_ns"`
+	Speedup float64 `json:"speedup"`
+}
+
 // timeMatrix simulates the matrix on a fresh suite and returns wall-clock
 // plus the suite (so callers can read its trace-cache stats).
 func timeMatrix(opts experiments.Options, pols []hier.PolicyKind) (time.Duration, *experiments.Suite) {
@@ -188,6 +224,8 @@ func main() {
 		sampleB  = flag.String("sampling-benchmarks", "", "benchmark set for the calibration pass (default: all, the fig9 matrix)")
 		policyO  = flag.String("policies-out", "BENCH_policies.json", "cross-policy comparison output JSON path (empty skips the pass)")
 		policyMD = flag.String("policies-md", "BENCH_policies.md", "cross-policy comparison markdown table path (empty skips the table)")
+		intraS   = flag.String("intra-sweep", "1,2,4,8", "comma-separated shard counts for the intra-run parallelism sweep")
+		intraO   = flag.String("intra-out", "BENCH_intra.json", "intra-run sweep output JSON path (empty skips the pass)")
 	)
 	flag.Parse()
 
@@ -224,6 +262,19 @@ func main() {
 		}
 		if len(sweepWorkers) == 0 {
 			fail("-scaling-workers must name at least one worker count")
+		}
+	}
+	var intraShards []int
+	if *intraO != "" {
+		for _, f := range strings.Split(*intraS, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fail("-intra-sweep must list positive integers (got %q)", f)
+			}
+			intraShards = append(intraShards, n)
+		}
+		if len(intraShards) == 0 {
+			fail("-intra-sweep must name at least one shard count")
 		}
 	}
 	var sampleFactors []int
@@ -295,7 +346,14 @@ func main() {
 			a, _ = src.Next()
 		}
 		sys.Access(0, a)
+		// Direct-Access drivers must fold staged reuse evidence themselves
+		// (Run does it per batch): pages only stabilize at folds, and the
+		// staging counters are sized for batch-length intervals.
+		if i&4095 == 4095 {
+			sys.FoldPending()
+		}
 	}
+	sys.FoldPending()
 	elapsed := time.Since(start)
 
 	// Generator-only pass over the same stream: the trace-generation share
@@ -514,6 +572,62 @@ func main() {
 		fmt.Printf("wrote %s\n", *sampleO)
 	}
 
+	if *intraO != "" {
+		// Intra-run sharding sweep: one engine run (soplex under SLIP+ABP,
+		// warmup + measured window both sharded) per shard count, each on a
+		// fresh suite with an idle pool so the scheduler grants the full
+		// intra width. The first point is forced sequential and anchors the
+		// speedup column.
+		maxShards := 0
+		for _, s := range intraShards {
+			if s > maxShards {
+				maxShards = s
+			}
+		}
+		ires := intraResult{
+			Benchmark:      "soplex",
+			Policy:         fmt.Sprint(hier.SLIPABP),
+			AccessesPerRun: *acc,
+			WarmupPerRun:   *warm,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			NumCPU:         runtime.NumCPU(),
+			CPUBound:       runtime.NumCPU() < maxShards,
+		}
+		if ires.CPUBound {
+			fmt.Fprintf(os.Stderr,
+				"suitebench: warning: host has %d CPU(s) but the intra sweep asks for up to %d shards; "+
+					"points beyond %d measure coordination/merge overhead, not scaling\n",
+				ires.NumCPU, maxShards, ires.NumCPU)
+		}
+		var intraBase time.Duration
+		for _, s := range intraShards {
+			o := experiments.Options{
+				Accesses:         *acc,
+				Warmup:           *warm,
+				WarmupSet:        true,
+				Seed:             7,
+				Benchmarks:       benchSet,
+				Parallelism:      1,
+				IntraParallelism: s,
+			}
+			suite := experiments.NewSuite(o)
+			st := time.Now()
+			suite.RunS(spec.Single("soplex", hier.SLIPABP))
+			wall := time.Since(st)
+			pt := intraPoint{Shards: s, WallNs: wall.Nanoseconds()}
+			if intraBase == 0 {
+				intraBase = wall
+			}
+			if wall > 0 {
+				pt.Speedup = intraBase.Seconds() / wall.Seconds()
+			}
+			ires.Points = append(ires.Points, pt)
+			fmt.Printf("intra: %2d shards  %8v  %.2fx\n", s, wall.Round(time.Millisecond), pt.Speedup)
+		}
+		writeJSON(*intraO, ires)
+		fmt.Printf("wrote %s\n", *intraO)
+	}
+
 	if *scaleO == "" {
 		return
 	}
@@ -530,6 +644,19 @@ func main() {
 		WarmupPerRun:   *warm,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		NumCPU:         runtime.NumCPU(),
+	}
+	maxWorkers := 0
+	for _, w := range sweepWorkers {
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+	}
+	sres.CPUBound = runtime.NumCPU() < maxWorkers
+	if sres.CPUBound {
+		fmt.Fprintf(os.Stderr,
+			"suitebench: warning: host has %d CPU(s) but the scaling sweep asks for up to %d workers; "+
+				"speedups are CPU-bound and the sweep measures overhead, not engine scaling\n",
+			runtime.NumCPU(), maxWorkers)
 	}
 	sweepOpts := experiments.Options{
 		Accesses:   *acc,

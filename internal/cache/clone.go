@@ -11,16 +11,15 @@ import "repro/internal/mem"
 // measured run its own copy.
 func (l *Level) Clone() *Level {
 	c := &Level{
-		cfg:         l.cfg,
-		name:        l.name,
-		numSets:     l.numSets,
-		ways:        l.ways,
-		repl:        l.repl.Clone(),
-		mq:          l.mq.Clone(),
-		est:         l.est,
-		T:           l.T,
-		activeLines: l.activeLines,
-		Stats:       l.Stats,
+		cfg:     l.cfg,
+		name:    l.name,
+		numSets: l.numSets,
+		ways:    l.ways,
+		repl:    l.repl.Clone(),
+		mq:      l.mq.Clone(),
+		est:     l.est,
+		T:       l.T,
+		Stats:   l.Stats,
 	}
 	c.sets = make([][]Line, len(l.sets))
 	lines := make([]Line, l.numSets*l.ways)
@@ -72,4 +71,13 @@ func (q *MovementQueue) Clone() *MovementQueue {
 	c := *q
 	c.entries = append([]uint64(nil), q.entries...)
 	return &c
+}
+
+// Clone returns an independent copy of the bank, lane by lane.
+func (b *MQBank) Clone() *MQBank {
+	c := &MQBank{}
+	for g, q := range b.lanes {
+		c.lanes[g] = q.Clone()
+	}
+	return c
 }

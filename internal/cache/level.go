@@ -35,6 +35,17 @@ type Line struct {
 	Demoted bool
 }
 
+// NumGroups is the number of line-address groups every per-group structure
+// in a level is indexed by. Group membership is set&63, which equals
+// line&63 whenever the level has at least 64 sets — the invariant behind
+// both the 1/K set-sampling mask and the intra-run shard partition: state
+// indexed by group is touched only by accesses to that group, so disjoint
+// group subsets can be simulated independently and grafted back together.
+const NumGroups = 64
+
+// GroupOf returns the line-address group of a set index.
+func GroupOf(set int) int { return set & (NumGroups - 1) }
+
 // Config describes one cache level.
 type Config struct {
 	// Params carries capacity-independent energy/latency constants.
@@ -50,14 +61,6 @@ type Config struct {
 	UseRRIP bool
 	// MovementQueueCap overrides the 16-entry default when positive.
 	MovementQueueCap int
-	// SampleDiv is the set-sampling factor K (≤1 = full fidelity). Under
-	// 1/K set sampling only 1/K of the sets receive traffic, so the
-	// reuse-distance estimator is sized for the active capacity C/K:
-	// otherwise its granule (4C/64 accesses per tick) is K times too
-	// coarse relative to the thinned access counter, and after the xK
-	// distance rescale every sub-granule distance collapses toward the
-	// nearest bin, biasing the per-page distributions the EOU consumes.
-	SampleDiv int
 }
 
 // Stats aggregates the per-level accounting every experiment reads.
@@ -107,6 +110,27 @@ func (s *Stats) Reset() {
 	s.MetadataPJ.Reset()
 }
 
+// Merge folds another Stats into this one, counter by counter. Energies
+// are fixed-point integers, so the fold is exact: summing the per-shard
+// deltas of an intra-run sharded replay reproduces precisely the totals a
+// sequential run would have accumulated.
+func (s *Stats) Merge(o *Stats) {
+	s.Accesses.Add(o.Accesses.Value())
+	s.Hits.Add(o.Hits.Value())
+	s.Misses.Add(o.Misses.Value())
+	s.Fills.Add(o.Fills.Value())
+	s.Bypasses.Add(o.Bypasses.Value())
+	s.Movements.Add(o.Movements.Value())
+	s.Evictions.Add(o.Evictions.Value())
+	s.Writebacks.Add(o.Writebacks.Value())
+	for i := range s.HitsPerSublevel {
+		s.HitsPerSublevel[i] += o.HitsPerSublevel[i]
+	}
+	s.AccessPJ.Add(o.AccessPJ)
+	s.MovementPJ.Add(o.MovementPJ)
+	s.MetadataPJ.Add(o.MetadataPJ)
+}
+
 // Level is one set-associative, energy-asymmetric cache level.
 type Level struct {
 	cfg     Config
@@ -115,7 +139,7 @@ type Level struct {
 	numSets int
 	ways    int
 	repl    Repl
-	mq      *MovementQueue
+	mq      *MQBank
 	est     *core.RDEstimator
 	// tags is the packed tag array: tags[set*ways+way] mirrors
 	// sets[set][way].Addr. Lookups scan this contiguous row instead of the
@@ -125,11 +149,13 @@ type Level struct {
 	// valid mirrors per-line Valid bits as one mask per set, letting lookup
 	// and victim selection skip invalid ways with bit arithmetic.
 	valid []WayMask
-	// T is the level access counter driving timestamps (Section 4.1).
-	T uint64
-	// activeLines is the capacity actually driven under set sampling
-	// (Lines()/SampleDiv, min 1); equal to Lines() at full fidelity.
-	activeLines uint64
+	// T holds one access counter per line-address group, driving the
+	// Section 4.1 timestamps group-locally. A group's counter advances only
+	// on that group's traffic, so it is identical whether the group ran in
+	// a sequential replay, under a 1/K sampling mask (the group either
+	// receives its full stream or none of it), or inside an intra-run
+	// shard — the property that makes timestamps exactly mergeable.
+	T [NumGroups]uint64
 
 	Stats Stats
 }
@@ -168,14 +194,18 @@ func New(cfg Config) *Level {
 	if mqCap <= 0 {
 		mqCap = 16
 	}
-	l.mq = NewMovementQueue(mqCap, 4)
-	estLines := uint64(numSets * ways)
-	if cfg.SampleDiv > 1 {
-		if estLines = estLines / uint64(cfg.SampleDiv); estLines == 0 {
-			estLines = 1
-		}
+	l.mq = NewMQBank(mqCap, 4)
+	// The estimator is sized for one group's share of the capacity: its
+	// ticks count group-local accesses (T[g]) and its distances are
+	// rescaled x64 back to whole-level lines in Access. A group sees 1/64
+	// of the level's traffic over 1/64 of its lines regardless of how many
+	// groups are masked off or sharded away, so the estimate's resolution
+	// (granule x 64 = 4C/64 whole-level lines per tick) is invariant under
+	// both set sampling and intra-run sharding.
+	estLines := uint64(numSets*ways) / NumGroups
+	if estLines == 0 {
+		estLines = 1
 	}
-	l.activeLines = estLines
 	l.est = core.NewRDEstimator(estLines)
 	l.Stats.HitsPerSublevel = make([]uint64, len(cfg.Params.SublevelWays))
 	return l
@@ -193,20 +223,14 @@ func (l *Level) NumWays() int { return l.ways }
 // Lines returns the level capacity in cache lines.
 func (l *Level) Lines() uint64 { return uint64(l.numSets * l.ways) }
 
-// ActiveLines returns the capacity the driven access stream actually
-// exercises: Lines() at full fidelity, Lines()/K under 1/K set sampling.
-// Capacity-relative policy thresholds must use this so they hold on the
-// thinned stream the drivers see.
-func (l *Level) ActiveLines() uint64 { return l.activeLines }
-
 // Params returns the energy/latency constants.
 func (l *Level) Params() *energy.LevelParams { return l.cfg.Params }
 
 // Repl exposes the replacement policy (drivers notify promotion hits).
 func (l *Level) Repl() Repl { return l.repl }
 
-// MQ exposes the movement queue for occupancy checks in tests.
-func (l *Level) MQ() *MovementQueue { return l.mq }
+// MQ exposes the movement-queue bank for occupancy checks in tests.
+func (l *Level) MQ() *MQBank { return l.mq }
 
 // Estimator returns the timestamp-based reuse-distance estimator.
 func (l *Level) Estimator() *core.RDEstimator { return l.est }
@@ -245,11 +269,11 @@ func (l *Level) chargeMeta() {
 	}
 }
 
-// chargeMQ probes the movement queue (policies with movements must check it
-// on every access).
-func (l *Level) chargeMQ() {
+// chargeMQ probes group g's movement-queue lane (policies with movements
+// must check it on every access).
+func (l *Level) chargeMQ(g int) {
 	if l.cfg.ChargeMetadata {
-		l.Stats.MetadataPJ.AddPJ(l.mq.Lookup(l.T))
+		l.Stats.MetadataPJ.AddPJ(l.mq.Lookup(g, l.T[g]))
 	}
 }
 
@@ -260,8 +284,10 @@ type AccessResult struct {
 	Way, Set int
 	// Sublevel is the sublevel of Way on a hit.
 	Sublevel int
-	// RDLines is the timestamp-estimated reuse distance of this hit, in
-	// lines (Section 4.1); only meaningful on hits.
+	// RDLines is the timestamp-estimated reuse distance of this hit in
+	// whole-level lines (Section 4.1): the group-local estimate rescaled
+	// x64, since a group holds 1/64 of the capacity and sees 1/64 of the
+	// traffic. Only meaningful on hits.
 	RDLines uint64
 	// WasSampling reports whether the hit line was inserted while its page
 	// was sampling (its reuse should be recorded).
@@ -273,10 +299,11 @@ type AccessResult struct {
 // and dirtied when store is set. On a miss only the access counter
 // advances; insertion is a separate policy decision.
 func (l *Level) Access(a mem.LineAddr, store bool) AccessResult {
-	l.T++
-	l.Stats.Accesses.Inc()
-	l.chargeMQ()
 	set := l.SetOf(a)
+	g := GroupOf(set)
+	l.T[g]++
+	l.Stats.Accesses.Inc()
+	l.chargeMQ(g)
 	if w := l.findWay(set, a); w >= 0 {
 		ln := &l.sets[set][w]
 		l.Stats.Hits.Inc()
@@ -284,9 +311,9 @@ func (l *Level) Access(a mem.LineAddr, store bool) AccessResult {
 		l.Stats.HitsPerSublevel[sub]++
 		l.Stats.AccessPJ.AddPJ(l.cfg.Params.WayAccessPJ[w])
 		l.chargeMeta()
-		rd := l.est.RDLines(l.T, ln.Meta.TL)
+		rd := l.est.RDLines(l.T[g], ln.Meta.TL) * NumGroups
 		wasSampling := ln.Meta.Sampling
-		ln.Meta.TL = l.est.Stamp(l.T)
+		ln.Meta.TL = l.est.Stamp(l.T[g])
 		ln.Reuses++
 		if store {
 			ln.Dirty = true
@@ -373,7 +400,7 @@ func (l *Level) MarkDemoted(set, way int, demoted bool) {
 func (l *Level) Fill(set, way int, a mem.LineAddr, dirty bool, meta Meta) (evicted Line) {
 	ln := &l.sets[set][way]
 	evicted = *ln
-	meta.TL = l.est.Stamp(l.T)
+	meta.TL = l.est.Stamp(l.T[GroupOf(set)])
 	*ln = Line{Valid: true, Addr: a, Dirty: dirty, Meta: meta}
 	l.tags[set*l.ways+way] = a
 	l.valid[set] |= 1 << way
@@ -406,7 +433,8 @@ func (l *Level) Move(set, from, to int) (displaced Line, stalled bool) {
 	l.Stats.Movements.Inc()
 	l.Stats.MovementPJ.AddPJ(l.cfg.Params.WayAccessPJ[from] + l.cfg.Params.WayAccessPJ[to])
 	l.chargeMeta()
-	stalled = l.mq.Enqueue(l.T)
+	g := GroupOf(set)
+	stalled = l.mq.Enqueue(g, l.T[g])
 	l.repl.OnFill(set, to)
 	return displaced, stalled
 }
@@ -430,8 +458,9 @@ func (l *Level) Swap(set, w1, w2 int) (stalled bool) {
 	l.Stats.Movements.Add(2)
 	l.Stats.MovementPJ.AddPJ(2 * (l.cfg.Params.WayAccessPJ[w1] + l.cfg.Params.WayAccessPJ[w2]))
 	l.chargeMeta()
-	s1 := l.mq.Enqueue(l.T)
-	s2 := l.mq.Enqueue(l.T)
+	g := GroupOf(set)
+	s1 := l.mq.Enqueue(g, l.T[g])
+	s2 := l.mq.Enqueue(g, l.T[g])
 	l.repl.OnFill(set, w1)
 	l.repl.OnFill(set, w2)
 	return s1 || s2
@@ -473,10 +502,11 @@ func (l *Level) WritebackTo(a mem.LineAddr) bool {
 // handle dirty data. The movement queue is probed for correctness, as
 // invalidations must also check in-flight lines.
 func (l *Level) Invalidate(a mem.LineAddr) (Line, bool) {
-	if l.cfg.ChargeMetadata {
-		l.Stats.MetadataPJ.AddPJ(l.mq.Lookup(l.T))
-	}
 	set := l.SetOf(a)
+	if l.cfg.ChargeMetadata {
+		g := GroupOf(set)
+		l.Stats.MetadataPJ.AddPJ(l.mq.Lookup(g, l.T[g]))
+	}
 	if w := l.findWay(set, a); w >= 0 {
 		ln := &l.sets[set][w]
 		out := *ln
@@ -485,6 +515,27 @@ func (l *Level) Invalidate(a mem.LineAddr) (Line, bool) {
 		return out, true
 	}
 	return Line{}, false
+}
+
+// AdoptGroup grafts line-address group g — every set ≡ g (mod NumGroups):
+// lines, tags, valid masks, the group's access counter, replacement state
+// and movement-queue lane — from src, which must share this level's
+// geometry. Because all of that state is touched only by group-g traffic,
+// adopting each group from the shard that owned it reconstructs exactly
+// the level a sequential replay would have produced. Stats are global, not
+// per-group, and are merged separately (Stats.Merge).
+func (l *Level) AdoptGroup(src *Level, g int) {
+	if l.numSets != src.numSets || l.ways != src.ways {
+		panic("cache: AdoptGroup across mismatched geometries")
+	}
+	for set := g; set < l.numSets; set += NumGroups {
+		copy(l.sets[set], src.sets[set])
+		copy(l.tags[set*l.ways:(set+1)*l.ways], src.tags[set*l.ways:(set+1)*l.ways])
+		l.valid[set] = src.valid[set]
+	}
+	l.T[g] = src.T[g]
+	l.repl.Adopt(src.repl, g)
+	l.mq.AdoptLane(src.mq, g)
 }
 
 // ForEachLine visits every valid line (for end-of-run statistics such as

@@ -86,3 +86,73 @@ func (q *MovementQueue) Stalls() uint64 { return q.stalls }
 
 // Peak returns the maximum occupancy observed.
 func (q *MovementQueue) Peak() int { return q.peak }
+
+// MQBank splits the movement queue into NumGroups independent lanes, one
+// per line-address group, each driven by its own group's access counter.
+// Accesses to different groups never share a lane, so group-disjoint
+// shards of one run touch disjoint lanes and a merged run reassembles the
+// bank by grafting each lane — in-flight entries and counters together —
+// from the shard that owned it, with no arithmetic on the counters.
+// Aggregate views (Lookups/Stalls/Peak) sum or max over the lanes, so
+// level-wide reporting reads the same as the single-queue model.
+type MQBank struct {
+	lanes [NumGroups]*MovementQueue
+}
+
+// NewMQBank builds a bank of NumGroups movement queues, each with the
+// given capacity and drain age.
+func NewMQBank(capacity int, drainAge uint64) *MQBank {
+	b := &MQBank{}
+	for g := range b.lanes {
+		b.lanes[g] = NewMovementQueue(capacity, drainAge)
+	}
+	return b
+}
+
+// Lookup probes group g's lane at its access-time now and returns the
+// probe energy in picojoules.
+func (b *MQBank) Lookup(g int, now uint64) float64 { return b.lanes[g].Lookup(now) }
+
+// Enqueue registers a movement in group g's lane at its access-time now,
+// reporting whether that lane stalled.
+func (b *MQBank) Enqueue(g int, now uint64) (stalled bool) { return b.lanes[g].Enqueue(now) }
+
+// Occupancy returns group g's live entry count at its access-time now.
+func (b *MQBank) Occupancy(g int, now uint64) int { return b.lanes[g].Occupancy(now) }
+
+// Lane exposes one lane (tests and the shard merge).
+func (b *MQBank) Lane(g int) *MovementQueue { return b.lanes[g] }
+
+// Lookups returns the total probes across all lanes.
+func (b *MQBank) Lookups() uint64 {
+	var n uint64
+	for _, q := range b.lanes {
+		n += q.lookups
+	}
+	return n
+}
+
+// Stalls returns the total stalled movements across all lanes.
+func (b *MQBank) Stalls() uint64 {
+	var n uint64
+	for _, q := range b.lanes {
+		n += q.stalls
+	}
+	return n
+}
+
+// Peak returns the maximum occupancy observed by any lane.
+func (b *MQBank) Peak() int {
+	p := 0
+	for _, q := range b.lanes {
+		if q.peak > p {
+			p = q.peak
+		}
+	}
+	return p
+}
+
+// AdoptLane replaces lane g with a deep copy of src's lane g, counters and
+// in-flight entries included — the merge primitive for a shard that owned
+// group g.
+func (b *MQBank) AdoptLane(src *MQBank, g int) { b.lanes[g] = src.lanes[g].Clone() }

@@ -45,7 +45,7 @@ func digest(sys *hier.System) string {
 		d.Stats.MetadataReads.Value(), d.Stats.MetadataWrites.Value(), d.Stats.EnergyPJ.PJ())
 	fmt.Fprintf(&b, "nr=%v l2d=%d l2ma=%d l2mm=%d l3d=%d l3ma=%d l3mm=%d eou=%v full=%v\n",
 		sys.NRHist, sys.L2DemandMisses, sys.L2MetaAccesses, sys.L2MetaMisses,
-		sys.L3DemandMisses, sys.L3MetaAccesses, sys.L3MetaMisses, sys.EOUPJ, sys.FullSystemPJ())
+		sys.L3DemandMisses, sys.L3MetaAccesses, sys.L3MetaMisses, sys.EOUPJ(), sys.FullSystemPJ())
 	return b.String()
 }
 

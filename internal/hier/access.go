@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/cache"
 	slipcore "repro/internal/core"
-	"repro/internal/energy"
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/policy"
@@ -99,6 +98,11 @@ func (s *System) RunContext(ctx context.Context, progress func(done uint64), src
 				s.Access(0, batch[i])
 			}
 		}
+		// Batch boundary: fold staged reuse-distance evidence in canonical
+		// order (see pending.go). Folding at fixed access counts — never at
+		// data-dependent points — is what keeps the fold schedule identical
+		// across sequential and sharded executions.
+		s.FoldPending()
 		n += uint64(k)
 		if k < len(batch) {
 			if progress != nil {
@@ -128,25 +132,32 @@ func (s *System) Access(coreID int, a trace.Access) {
 	var pte *mmu.PTE
 	if cn.mmu != nil {
 		// The TLB and page-sampling machinery are page-grain, not
-		// set-indexed, so under set sampling they still see the full access
-		// stream: thinning them would distort TLB miss rates, sampling-page
-		// selection and stabilization cadence nonlinearly (short page
-		// streaks vanish under thinning), a bias that grows with run
-		// length. Translating every access keeps the whole per-page state
-		// machine exactly on its full-fidelity trajectory; only the
-		// set-indexed work below (tags, policy, energy) is sampled.
+		// set-indexed, so under set sampling (and intra-run sharding) they
+		// still see the full access stream: thinning them would distort TLB
+		// miss rates, sampling-page selection and stabilization cadence
+		// nonlinearly (short page streaks vanish under thinning), a bias
+		// that grows with run length. Translating every access keeps the
+		// whole per-page state machine exactly on its full-fidelity
+		// trajectory; only the set-indexed work below (tags, policy,
+		// energy) is partitioned.
 		pte = s.translate(cn, a.Addr.Page())
+	}
+	if s.shardMask != 0 && s.shardMask&(1<<(uint64(line)&63)) == 0 {
+		// Intra-run sharding: another replica owns this line-address group.
+		// Return before the sampling accounting below so even the
+		// Sampled/Skipped counters partition by owner and merge by
+		// summation. The group is in the line address's low bits, so
+		// coreShift relocation never changes it.
+		return
 	}
 	if s.sampleMask != 0 {
 		// Set-sampled fast path: accesses outside the sampled line-address
 		// groups short-circuit before tag, policy and energy work,
-		// contributing only their base-CPI instruction time. The group is
-		// in the line address's low bits, so coreShift relocation never
-		// changes it. Instruction counts stay exact; stalls accrue only
-		// from the sample and are extrapolated by ScaledCycles.
+		// contributing only their base-CPI instruction time (implicit in
+		// the derived Cycles). Instruction counts stay exact; stalls accrue
+		// only from the sample and are extrapolated by ScaledCycles.
 		if s.sampleMask&(1<<(uint64(line)&63)) == 0 {
 			s.SkippedAccesses++
-			cn.Cycles += float64(1+a.Gap) * s.cfg.Core.BaseCPI
 			return
 		}
 		s.SampledAccesses++
@@ -155,15 +166,12 @@ func (s *System) Access(coreID int, a trace.Access) {
 	lat := s.cfg.Core.L1LatencyCyc
 	r1 := cn.l1.Access(line, a.Store)
 	if !r1.Hit {
-		lat += s.accessL2(cn, line, pte)
+		lat += s.accessL2(cn, line, pte, a.Addr.Page())
 		s.fillL1(cn, line, a.Store)
 	}
-	stall := float64(lat - s.cfg.Core.OverlapCycles)
-	if stall < 0 {
-		stall = 0
+	if stall := lat - s.cfg.Core.OverlapCycles; stall > 0 {
+		cn.demandStalls += uint64(stall)
 	}
-	cn.Stalls += stall
-	cn.Cycles += float64(1+a.Gap)*s.cfg.Core.BaseCPI + stall
 }
 
 // translate runs the TLB/sampling machinery and returns the page's PTE.
@@ -172,16 +180,17 @@ func (s *System) Access(coreID int, a trace.Access) {
 // set-indexed like any other line, so it passes through the same sampled-
 // group filter as demand traffic — metadata counters and energy then thin
 // by ~1/K alongside everything else and the uniform xK extrapolation in
-// the Scaled* accessors stays consistent.
+// the Scaled* accessors stays consistent. The same reasoning routes each
+// profile line's traffic to the intra-run shard that owns its group.
 func (s *System) translate(cn *coreNode, page mem.PageID) *mmu.PTE {
 	res := cn.mmu.Translate(page)
 	if res.FetchProfile {
-		if ml := mmu.ProfileAddr(page).Line(); s.sampledLine(ml) {
+		if ml := mmu.ProfileAddr(page).Line(); s.sampledLine(ml) && s.ownedLine(ml) {
 			s.metaFetch(cn, ml)
 		}
 	}
 	if res.WritebackValid {
-		if ml := mmu.ProfileAddr(res.WritebackProfile).Line(); s.sampledLine(ml) {
+		if ml := mmu.ProfileAddr(res.WritebackProfile).Line(); s.sampledLine(ml) && s.ownedLine(ml) {
 			s.metaWriteback(ml)
 		}
 	}
@@ -197,8 +206,17 @@ func (s *System) sampledLine(line mem.LineAddr) bool {
 	return s.sampleMask == 0 || s.sampleMask&(1<<(uint64(line)&63)) != 0
 }
 
+// ownedLine reports whether this replica owns the line's group during an
+// intra-run sharded execution (always true when unsharded).
+func (s *System) ownedLine(line mem.LineAddr) bool {
+	return s.shardMask == 0 || s.shardMask&(1<<(uint64(line)&63)) != 0
+}
+
 // recomputePolicy runs the EOU for both levels on a page that just turned
-// stable (step Í of Figure 7) and stores the 3-bit codes in the PTE.
+// stable (step Í of Figure 7) and stores the 3-bit codes in the PTE. Page-
+// grain work: it runs identically on every shard replica (the EOU reads
+// only the folded distributions, which agree across replicas between
+// folds), so EOUOps and policyStalls merge by taking shard 0's values.
 func (s *System) recomputePolicy(cn *coreNode, pte *mmu.PTE) {
 	sl2, _ := s.eouL2.Optimize(&pte.L2Dist)
 	sl3, _ := s.eouL3.Optimize(&pte.L3Dist)
@@ -208,9 +226,8 @@ func (s *System) recomputePolicy(cn *coreNode, pte *mmu.PTE) {
 	cn.mmu.NotePolicyUpdate()
 	// Two optimizations (one per level); the TLB blocks for one cycle while
 	// the policy bits update.
-	s.EOUPJ += 2 * energy.EOUOpPJ
-	cn.Stalls++
-	cn.Cycles++
+	s.EOUOps += 2
+	cn.policyStalls++
 }
 
 // metaFor derives the sidecar metadata for an insertion: sampling pages and
@@ -249,26 +266,40 @@ func latencyOf(l *cache.Level, uniform bool, way int) int {
 	return l.Params().WayLatency[way]
 }
 
+// stageEvidence buffers one reuse-distance observation for a sampling page
+// (which=0 feeds L2Dist, which=1 feeds L3Dist) instead of applying it
+// inline. The distributions' saturating halving makes Dist.Add
+// order-sensitive, and intra-run shards observe a batch's evidence in
+// whatever interleaving their group partition induces — so all evidence
+// within one replay batch is staged here and folded in a canonical order
+// at the batch boundary (foldPending), which every replica reproduces
+// identically.
+func (s *System) stageEvidence(cn *coreNode, pte *mmu.PTE, page mem.PageID, which, bin int) {
+	if !pte.PendDirty {
+		pte.PendDirty = true
+		cn.pendPages = append(cn.pendPages, page)
+	}
+	pte.Pend[which][bin]++
+}
+
 // accessL2 services an L1 miss from the L2 and below, returning the added
 // latency in cycles. The line ends up resident in L1's backing levels per
 // policy (and is always returned to the L1 by the caller).
-func (s *System) accessL2(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
+func (s *System) accessL2(cn *coreNode, line mem.LineAddr, pte *mmu.PTE, page mem.PageID) int {
 	r2 := cn.l2.Access(line, false)
 	if r2.Hit {
 		if pte != nil && pte.Sampling {
-			// rdScale (1 when set sampling is off) restores sampled reuse
-			// distances to full-capacity scale: under 1/K set sampling the
-			// level timestamp advances at 1/K the full rate, so observed
-			// distances are ~1/K of what the full run would measure while
-			// the bin boundaries stay sized to the full cache.
-			pte.L2Dist.Add(slipcore.BinFor(r2.RDLines*s.rdScale, s.cumL2))
+			// RDLines is already at whole-level scale (the level keeps
+			// per-group timestamps and rescales), so the observation bins
+			// directly against the full-capacity boundaries.
+			s.stageEvidence(cn, pte, page, 0, slipcore.BinFor(r2.RDLines, s.cumL2))
 			// An L2 hit at reuse distance d is also evidence for the L3
 			// vector: had the L2 not served it, the L3 would have at the
 			// same line distance. Without this cross-update the L3 never
 			// observes reuses the (sampling-time Default) L2 absorbs, and
 			// pages whose lines fit the L2 get a bogus all-miss L3 profile
 			// — the stale-bypass pathology discussed in DESIGN.md.
-			pte.L3Dist.Add(slipcore.BinFor(r2.RDLines*s.rdScale, s.cumL3))
+			s.stageEvidence(cn, pte, page, 1, slipcore.BinFor(r2.RDLines, s.cumL3))
 		}
 		lat := latencyOf(cn.l2, s.uniformLat2, r2.Way)
 		cn.d2.OnHit(cn.l2, r2.Set, r2.Way)
@@ -276,10 +307,10 @@ func (s *System) accessL2(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
 	}
 	s.L2DemandMisses++
 	if pte != nil && pte.Sampling {
-		pte.L2Dist.Add(slipcore.MissBin)
+		s.stageEvidence(cn, pte, page, 0, slipcore.MissBin)
 	}
 	lat := cn.l2.Params().BaselineLatency // miss detection
-	lat += s.accessL3(cn, line, pte)
+	lat += s.accessL3(cn, line, pte, page)
 	// Insert into the L2 (the policy may bypass).
 	out := cn.d2.Insert(cn.l2, line, false, s.metaFor(pte))
 	if out.Evicted.Valid && out.Evicted.Dirty {
@@ -289,11 +320,11 @@ func (s *System) accessL2(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
 }
 
 // accessL3 services an L2 miss from the L3/DRAM, returning added latency.
-func (s *System) accessL3(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
+func (s *System) accessL3(cn *coreNode, line mem.LineAddr, pte *mmu.PTE, page mem.PageID) int {
 	r3 := s.l3.Access(line, false)
 	if r3.Hit {
 		if pte != nil && pte.Sampling {
-			pte.L3Dist.Add(slipcore.BinFor(r3.RDLines*s.rdScale, s.cumL3))
+			s.stageEvidence(cn, pte, page, 1, slipcore.BinFor(r3.RDLines, s.cumL3))
 		}
 		lat := latencyOf(s.l3, s.uniformLat3, r3.Way)
 		s.d3.OnHit(s.l3, r3.Set, r3.Way)
@@ -301,7 +332,7 @@ func (s *System) accessL3(cn *coreNode, line mem.LineAddr, pte *mmu.PTE) int {
 	}
 	s.L3DemandMisses++
 	if pte != nil && pte.Sampling {
-		pte.L3Dist.Add(slipcore.MissBin)
+		s.stageEvidence(cn, pte, page, 1, slipcore.MissBin)
 	}
 	lat := s.l3.Params().BaselineLatency + s.dram.Read()
 	out := s.d3.Insert(s.l3, line, false, s.metaFor(pte))

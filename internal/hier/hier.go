@@ -160,11 +160,30 @@ type coreNode struct {
 	d2  policy.Driver
 	mmu *mmu.MMU
 
-	// Timing.
+	// Timing. Cycles are derived, never accumulated: instruction time is
+	// Instrs x BaseCPI exactly, and the two integer stall counters hold the
+	// rest. Keeping the primitives integral makes timing order-invariant —
+	// the sharded merge can sum per-shard stall counts and reproduce the
+	// sequential run's cycles bit for bit, where an accumulated float would
+	// drift with summation order.
 	Instrs uint64
-	Cycles float64
-	Stalls float64
+	// demandStalls is exposed memory latency (max(0, lat - OverlapCycles)
+	// per access); it accrues only on accesses this replica owns, so the
+	// merge sums it across shards.
+	demandStalls uint64
+	// policyStalls counts the one-cycle TLB blocks for EOU recomputations.
+	// The page-grain machinery runs identically on every shard, so the
+	// merge takes shard 0's value rather than summing.
+	policyStalls uint64
+
+	// pendPages lists pages with staged reuse-distance evidence
+	// (PTE.PendDirty); the batch-boundary fold drains it. Scratch: empty
+	// whenever the system is at rest.
+	pendPages []mem.PageID
 }
+
+// stalls returns the core's total stall cycles.
+func (cn *coreNode) stalls() uint64 { return cn.demandStalls + cn.policyStalls }
 
 // System is a simulated machine.
 type System struct {
@@ -198,16 +217,25 @@ type System struct {
 	L2DemandMisses, L2MetaAccesses, L2MetaMisses uint64
 	L3DemandMisses, L3MetaAccesses, L3MetaMisses uint64
 
-	// EOUPJ is the optimizer energy (1.27 pJ per operation).
-	EOUPJ float64
+	// EOUOps counts optimizer invocations (two per policy recomputation);
+	// energy is derived as EOUOps x energy.EOUOpPJ. An integer count merges
+	// exactly across shards (replicated: every shard runs the page-grain
+	// machinery in full, so the merge takes shard 0's value).
+	EOUOps uint64
 
 	// Set sampling (Config.SampleK > 1): sampleMask selects the simulated
-	// line-address groups (zero = sampling off) and rdScale (= K, 1 when
-	// off) rescales sampled reuse distances back to full-capacity scale
-	// before distribution binning, since sampled timestamps advance at 1/K
-	// the full rate.
+	// line-address groups (zero = sampling off). Reuse distances need no
+	// rescaling here — cache.Level keeps per-group timestamps and already
+	// reports distances at whole-level scale.
 	sampleMask uint64
-	rdScale    uint64
+
+	// shardMask selects the line-address groups this replica owns during an
+	// intra-run sharded execution (zero = owns everything, the ordinary
+	// case). Accesses outside the mask short-circuit after the page-grain
+	// translate, before any set-indexed work, exactly like the set-sampling
+	// fast path — which is what makes the union of S disjoint shard replays
+	// reproduce the sequential run state for state partitioned by group.
+	shardMask uint64
 
 	// SampledAccesses/SkippedAccesses split the driven accesses between the
 	// simulated sample and the short-circuited remainder (both zero when
@@ -222,7 +250,7 @@ func New(cfg Config) *System {
 	if desc == nil {
 		panic(fmt.Sprintf("hier: unknown policy %v", cfg.Policy))
 	}
-	s := &System{cfg: cfg, rdScale: 1}
+	s := &System{cfg: cfg}
 	if cfg.SampleK > 1 {
 		if cfg.SampleK > 64 || 64%cfg.SampleK != 0 {
 			panic(fmt.Sprintf("hier: SampleK must divide 64 (got %d)", cfg.SampleK))
@@ -232,7 +260,6 @@ func New(cfg Config) *System {
 				want, cfg.SampleK, got))
 		}
 		s.sampleMask = cfg.SampleMask
-		s.rdScale = uint64(cfg.SampleK)
 	}
 	s.dram = dram.New(cfg.DRAM)
 	s.encL2 = slipcore.NewEncoder(len(cfg.L2Params.SublevelWays))
@@ -246,7 +273,6 @@ func New(cfg Config) *System {
 		Bytes:          cfg.L3Bytes,
 		ChargeMetadata: chargeMeta,
 		UseRRIP:        cfg.UseRRIP,
-		SampleDiv:      cfg.SampleK,
 	})
 	s.d3 = s.newDriver(3, cfg.Seed)
 	s.uniformLat3 = s.d3.UniformLatency()
@@ -265,7 +291,6 @@ func New(cfg Config) *System {
 			Bytes:          cfg.L2Bytes,
 			ChargeMetadata: chargeMeta,
 			UseRRIP:        cfg.UseRRIP,
-			SampleDiv:      cfg.SampleK,
 		})
 		cn.d2 = s.newDriver(2, cfg.Seed+uint64(i)*977)
 		s.uniformLat2 = cn.d2.UniformLatency()

@@ -276,7 +276,7 @@ func TestFullSystemEnergyComposition(t *testing.T) {
 	if s.CorePJ() <= 0 || s.L1TotalPJ() <= 0 {
 		t.Error("core/L1 energy missing")
 	}
-	if s.EOUPJ <= 0 {
+	if s.EOUPJ() <= 0 {
 		t.Error("EOU energy never charged despite stable transitions")
 	}
 }

@@ -1,6 +1,9 @@
 package hier
 
-import "repro/internal/policy"
+import (
+	"repro/internal/mem"
+	"repro/internal/policy"
+)
 
 // Snapshot is a frozen deep copy of a System's mutable state — cache
 // contents and tag arrays, replacement and movement-queue state, MMU page
@@ -75,10 +78,10 @@ func (s *System) clone() *System {
 		L3MetaAccesses: s.L3MetaAccesses,
 		L3MetaMisses:   s.L3MetaMisses,
 
-		EOUPJ: s.EOUPJ,
+		EOUOps: s.EOUOps,
 
 		sampleMask:      s.sampleMask,
-		rdScale:         s.rdScale,
+		shardMask:       s.shardMask,
 		SampledAccesses: s.SampledAccesses,
 		SkippedAccesses: s.SkippedAccesses,
 	}
@@ -96,13 +99,18 @@ func (s *System) clone() *System {
 	c.cores = make([]*coreNode, len(s.cores))
 	for i, cn := range s.cores {
 		nc := &coreNode{
-			id:     cn.id,
-			l1:     cn.l1.Clone(),
-			l2:     cn.l2.Clone(),
-			d2:     cn.d2.Clone(),
-			Instrs: cn.Instrs,
-			Cycles: cn.Cycles,
-			Stalls: cn.Stalls,
+			id:           cn.id,
+			l1:           cn.l1.Clone(),
+			l2:           cn.l2.Clone(),
+			d2:           cn.d2.Clone(),
+			Instrs:       cn.Instrs,
+			demandStalls: cn.demandStalls,
+			policyStalls: cn.policyStalls,
+		}
+		if len(cn.pendPages) > 0 {
+			// Staged evidence travels with the clone (PTE.Pend already
+			// copied inside mmu.Clone); systems at rest have none.
+			nc.pendPages = append([]mem.PageID(nil), cn.pendPages...)
 		}
 		if cn.mmu != nil {
 			nc.mmu = cn.mmu.Clone()

@@ -37,7 +37,8 @@ func stateDigest(s *System) string {
 				m.Stats.ToStable.Value(), m.Stats.ToSampling.Value(),
 				m.Stats.PolicyRecomputs.Value(), m.NumPages())
 		}
-		fmt.Fprintf(&b, "core[%d] i=%d cyc=%v st=%v\n", c, s.Instrs(c), s.Cycles(c), s.cores[c].Stalls)
+		fmt.Fprintf(&b, "core[%d] i=%d cyc=%v ds=%d ps=%d\n",
+			c, s.Instrs(c), s.Cycles(c), s.cores[c].demandStalls, s.cores[c].policyStalls)
 	}
 	level("l3", s.L3())
 	d := s.DRAM()
@@ -46,7 +47,7 @@ func stateDigest(s *System) string {
 		d.Stats.MetadataReads.Value(), d.Stats.MetadataWrites.Value(), d.Stats.EnergyPJ.PJ())
 	fmt.Fprintf(&b, "nr=%v l2d=%d l2ma=%d l2mm=%d l3d=%d l3ma=%d l3mm=%d eou=%v full=%v\n",
 		s.NRHist, s.L2DemandMisses, s.L2MetaAccesses, s.L2MetaMisses,
-		s.L3DemandMisses, s.L3MetaAccesses, s.L3MetaMisses, s.EOUPJ, s.FullSystemPJ())
+		s.L3DemandMisses, s.L3MetaAccesses, s.L3MetaMisses, s.EOUPJ(), s.FullSystemPJ())
 	fmt.Fprintf(&b, "ic2=%v ic3=%v\n", s.InsertionClassFractions(2), s.InsertionClassFractions(3))
 	return b.String()
 }

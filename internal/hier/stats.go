@@ -3,6 +3,8 @@ package hier
 // Accessors over a finished run, shaped after the metrics the paper's
 // figures report. Energies are picojoules.
 
+import "repro/internal/energy"
+
 // ResetStats discards everything accumulated so far — energies, hit/miss
 // and traffic counters, timing, NR histogram, insertion classes — while
 // keeping all cache, TLB, PTE and policy state. Call it after a warmup
@@ -13,8 +15,8 @@ func (s *System) ResetStats() {
 		c.l1.Stats.Reset()
 		c.l2.Stats.Reset()
 		c.Instrs = 0
-		c.Cycles = 0
-		c.Stalls = 0
+		c.demandStalls = 0
+		c.policyStalls = 0
 	}
 	s.l3.Stats.Reset()
 	s.dram.Stats.Reads.Reset()
@@ -25,7 +27,7 @@ func (s *System) ResetStats() {
 	s.NRHist = [4]uint64{}
 	s.L2DemandMisses, s.L2MetaAccesses, s.L2MetaMisses = 0, 0, 0
 	s.L3DemandMisses, s.L3MetaAccesses, s.L3MetaMisses = 0, 0, 0
-	s.EOUPJ = 0
+	s.EOUOps = 0
 	s.SampledAccesses, s.SkippedAccesses = 0, 0
 	for _, d := range s.slipL2 {
 		d.InsertClasses = [4]uint64{}
@@ -39,7 +41,13 @@ func (s *System) ResetStats() {
 func (s *System) Instrs(i int) uint64 { return s.cores[i].Instrs }
 
 // Cycles returns core i's cycle count under the stall-based timing model.
-func (s *System) Cycles(i int) float64 { return s.cores[i].Cycles }
+// Cycles are derived from integer primitives (instructions x base CPI plus
+// total stall cycles), so the value is identical no matter how the stalls
+// were accumulated — sequentially or summed across intra-run shards.
+func (s *System) Cycles(i int) float64 {
+	c := s.cores[i]
+	return float64(c.Instrs)*s.cfg.Core.BaseCPI + float64(c.stalls())
+}
 
 // TotalInstrs sums instructions over all cores.
 func (s *System) TotalInstrs() uint64 {
@@ -53,9 +61,9 @@ func (s *System) TotalInstrs() uint64 {
 // MaxCycles returns the slowest core's cycles (the run's wall time).
 func (s *System) MaxCycles() float64 {
 	m := 0.0
-	for _, c := range s.cores {
-		if c.Cycles > m {
-			m = c.Cycles
+	for i := range s.cores {
+		if c := s.Cycles(i); c > m {
+			m = c
 		}
 	}
 	return m
@@ -63,11 +71,16 @@ func (s *System) MaxCycles() float64 {
 
 // IPC returns core i's instructions per cycle.
 func (s *System) IPC(i int) float64 {
-	if s.cores[i].Cycles == 0 {
+	cyc := s.Cycles(i)
+	if cyc == 0 {
 		return 0
 	}
-	return float64(s.cores[i].Instrs) / s.cores[i].Cycles
+	return float64(s.cores[i].Instrs) / cyc
 }
+
+// EOUPJ returns the optimizer energy (1.27 pJ per operation), derived from
+// the integer operation count.
+func (s *System) EOUPJ() float64 { return float64(s.EOUOps) * energy.EOUOpPJ }
 
 // L2TotalPJ sums all L2 energy (access + movement + metadata) across cores,
 // including the L2 share of EOU energy.
@@ -76,11 +89,11 @@ func (s *System) L2TotalPJ() float64 {
 	for _, c := range s.cores {
 		t += c.l2.Stats.TotalPJ()
 	}
-	return t + s.EOUPJ/2
+	return t + s.EOUPJ()/2
 }
 
 // L3TotalPJ returns all L3 energy including its EOU share.
-func (s *System) L3TotalPJ() float64 { return s.l3.Stats.TotalPJ() + s.EOUPJ/2 }
+func (s *System) L3TotalPJ() float64 { return s.l3.Stats.TotalPJ() + s.EOUPJ()/2 }
 
 // L2AccessPJ / L2MovementPJ split the Figure 11 components across cores.
 func (s *System) L2AccessPJ() float64 {
@@ -246,9 +259,9 @@ func (s *System) scale() float64 { return float64(s.SampleK()) }
 // by K.
 func (s *System) ScaledCycles(i int) float64 {
 	if s.cfg.SampleK <= 1 {
-		return s.cores[i].Cycles
+		return s.Cycles(i)
 	}
-	return s.cores[i].Cycles + (s.scale()-1)*s.cores[i].Stalls
+	return s.Cycles(i) + (s.scale()-1)*float64(s.cores[i].stalls())
 }
 
 // ScaledMaxCycles is MaxCycles over ScaledCycles — the extrapolated run

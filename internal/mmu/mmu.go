@@ -49,6 +49,20 @@ type PTE struct {
 	// distributions (4 bits x 4 bins each, Section 4.1).
 	L2Dist core.Dist
 	L3Dist core.Dist
+	// Pend stages reuse-distance observations not yet folded into the
+	// distributions: Pend[0] bins feed L2Dist, Pend[1] bins feed L3Dist.
+	// The hierarchy buffers observations here during one replay batch and
+	// folds them in a canonical order at the batch boundary, because the
+	// distributions' saturating halving makes Dist.Add order-sensitive:
+	// intra-run shards observe a batch's evidence in different
+	// interleavings but fold identical aggregates, so every shard's
+	// replicated page state stays bit-identical. Counts cannot overflow
+	// uint16 — a batch is at most 4096 accesses, each adding at most two
+	// observations. Pend is empty between runs.
+	Pend [2][core.NumBins]uint16
+	// PendDirty marks a page with staged observations; the hierarchy keeps
+	// dirty pages on a list and clears the flag at each fold.
+	PendDirty bool
 }
 
 // Config parameterizes the MMU.

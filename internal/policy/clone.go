@@ -11,11 +11,15 @@ func (*Baseline) Clone() Driver { return &Baseline{} }
 // Clone implements Driver.
 func (*NuRAPID) Clone() Driver { return &NuRAPID{} }
 
-// Clone implements Driver: the bank-selection RNG cursor is copied so the
-// clone draws the same sequence the original would have.
+// Clone implements Driver: every group's RNG cursor is copied so the clone
+// draws the same sequences the original would have.
 func (p *LRUPEA) Clone() Driver {
-	rng := *p.rng
-	return &LRUPEA{rng: &rng}
+	c := &LRUPEA{}
+	for g, r := range p.rngs {
+		rng := *r
+		c.rngs[g] = &rng
+	}
+	return c
 }
 
 // Clone implements Driver: the insertion-class counters are carried over;
@@ -32,3 +36,10 @@ func (s *SLIP) Clone() Driver {
 		InsertClasses: s.InsertClasses,
 	}
 }
+
+// Adopt implements Driver: SLIP keeps no per-group mutable state — lines
+// and their sidecar metadata live in the cache (grafted by the level
+// merge), the lookup tables are lazily rebuilt pure functions of the
+// geometry, and InsertClasses are global event counters the shard merge
+// sums separately.
+func (*SLIP) Adopt(Driver, int) {}

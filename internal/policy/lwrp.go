@@ -23,14 +23,19 @@ func init() {
 }
 
 // LWRP owns per-way recency stamps and a logical clock; the cache's own
-// Reuses counters supply the frequency term.
+// Reuses counters supply the frequency term. The clock is per line-address
+// group: victim scoring only ever compares stamps within one set, whose
+// stamps all come from its own group's monotone clock, so choices are
+// identical to a single global clock while group-disjoint streams touch
+// disjoint state (the property the intra-run shard merge grafts by).
 type LWRP struct {
 	// stamps[set*ways+way] is the clock value of that way's last touch.
 	// Sized by geometry, not keyed to a Level instance: snapshot clones
 	// are driven against fresh Level values of identical shape, and the
 	// stamps must carry over for bit-identical victim choices.
 	stamps []uint64
-	clock  uint64
+	clock  [cache.NumGroups]uint64
+	ways   int
 }
 
 // NewLWRP returns the driver; stamps are sized from the first Level it is
@@ -52,13 +57,15 @@ func (p *LWRP) ensure(l *cache.Level) {
 	if n := l.NumSets() * l.NumWays(); len(p.stamps) != n {
 		p.stamps = make([]uint64, n)
 	}
+	p.ways = l.NumWays()
 }
 
 // OnHit implements Driver: refresh the line's recency stamp.
 func (p *LWRP) OnHit(l *cache.Level, set, way int) {
 	p.ensure(l)
-	p.clock++
-	p.stamps[set*l.NumWays()+way] = p.clock
+	g := cache.GroupOf(set)
+	p.clock[g]++
+	p.stamps[set*l.NumWays()+way] = p.clock[g]
 }
 
 // victim picks the worst-scored way of the set: any invalid way first
@@ -69,13 +76,14 @@ func (p *LWRP) OnHit(l *cache.Level, set, way int) {
 func (p *LWRP) victim(l *cache.Level, set int) int {
 	ways := l.NumWays()
 	base := set * ways
+	clock := p.clock[cache.GroupOf(set)]
 	best, bestAge, bestW := -1, uint64(0), uint64(0)
 	for w := 0; w < ways; w++ {
 		ln := l.LineAt(set, w)
 		if !ln.Valid {
 			return w
 		}
-		age := p.clock - p.stamps[base+w]
+		age := clock - p.stamps[base+w]
 		weight := 1 + uint64(ln.Reuses)
 		// The cross products fit in uint64: age and weight are each
 		// bounded by the level's access count, so overflow needs a single
@@ -94,8 +102,9 @@ func (p *LWRP) Insert(l *cache.Level, a mem.LineAddr, dirty bool, meta cache.Met
 	p.ensure(l)
 	set := l.SetOf(a)
 	way := p.victim(l, set)
-	p.clock++
-	p.stamps[set*l.NumWays()+way] = p.clock
+	g := cache.GroupOf(set)
+	p.clock[g]++
+	p.stamps[set*l.NumWays()+way] = p.clock[g]
 	ev := l.Fill(set, way, a, dirty, meta)
 	if ev.Valid {
 		finishEviction(l, ev, way)
@@ -103,8 +112,26 @@ func (p *LWRP) Insert(l *cache.Level, a mem.LineAddr, dirty bool, meta cache.Met
 	return Outcome{Evicted: ev}
 }
 
-// Clone implements Driver: stamps and clock are deep-copied so the clone
+// Clone implements Driver: stamps and clocks are deep-copied so the clone
 // scores victims identically.
 func (p *LWRP) Clone() Driver {
-	return &LWRP{stamps: append([]uint64(nil), p.stamps...), clock: p.clock}
+	return &LWRP{stamps: append([]uint64(nil), p.stamps...), clock: p.clock, ways: p.ways}
+}
+
+// Adopt implements Driver: graft group g's stamp rows and clock. A
+// receiver that was never driven (empty stamp array) sizes itself from
+// src, so merges into a fresh system work.
+func (p *LWRP) Adopt(src Driver, g int) {
+	o := src.(*LWRP)
+	if len(p.stamps) != len(o.stamps) {
+		p.stamps = make([]uint64, len(o.stamps))
+	}
+	if o.ways > 0 {
+		p.ways = o.ways
+		sets := len(p.stamps) / p.ways
+		for set := g; set < sets; set += cache.NumGroups {
+			copy(p.stamps[set*p.ways:(set+1)*p.ways], o.stamps[set*p.ways:(set+1)*p.ways])
+		}
+	}
+	p.clock[g] = o.clock[g]
 }

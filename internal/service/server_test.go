@@ -334,3 +334,44 @@ func TestExperimentEndpoint(t *testing.T) {
 		t.Errorf("fig1 render empty or unrecognizable:\n%s", raw)
 	}
 }
+
+// TestShardedJobMetric drives a job through a daemon configured with
+// intra-run sharding and asserts the slip_shard_runs_total counter fires,
+// and that the sharded result is identical to a sequential daemon's. The
+// explicit IntraParallelism makes the test independent of host CPU count.
+func TestShardedJobMetric(t *testing.T) {
+	srv, ts := testServer(t, Config{Workers: 1, QueueDepth: 8, IntraParallelism: 4}, nil)
+
+	body := `{"workload":"milc","policy":"slip+abp","accesses":20000,"warmup":20000,"seed":7}`
+	_, v, _ := postRun(t, ts, body)
+	done := pollJob(t, ts, v.ID)
+	if done.State != StateCompleted {
+		t.Fatalf("sharded job finished %s (%s), want completed", done.State, done.Error)
+	}
+	if got := srv.Metrics().ShardRuns(); got != 1 {
+		t.Errorf("ShardRuns = %d, want 1", got)
+	}
+	metrics := getBody(t, ts, "/metrics")
+	if !strings.Contains(metrics, "slip_shard_runs_total 1") {
+		t.Errorf("/metrics missing slip_shard_runs_total 1:\n%s", metrics)
+	}
+
+	seqSrv, seqTS := testServer(t, Config{Workers: 1, QueueDepth: 8, IntraParallelism: 1}, nil)
+	_, sv, _ := postRun(t, seqTS, body)
+	seqDone := pollJob(t, seqTS, sv.ID)
+	if seqDone.State != StateCompleted {
+		t.Fatalf("sequential job finished %s (%s), want completed", seqDone.State, seqDone.Error)
+	}
+	if got := seqSrv.Metrics().ShardRuns(); got != 0 {
+		t.Errorf("sequential daemon ShardRuns = %d, want 0", got)
+	}
+	// Compare the architectural outputs; SimSeconds (wall clock) and the
+	// Spec's pointer fields legitimately differ between servers.
+	a, b := done.Result, seqDone.Result
+	if a.FullSystemPJ != b.FullSystemPJ || a.Cycles != b.Cycles || a.Instrs != b.Instrs ||
+		a.L2Misses != b.L2Misses || a.L3Misses != b.L3Misses || a.DRAMTraffic != b.DRAMTraffic ||
+		a.L1HitRate != b.L1HitRate || a.L2HitRate != b.L2HitRate || a.L3HitRate != b.L3HitRate ||
+		a.EOUPJ != b.EOUPJ {
+		t.Errorf("sharded daemon result differs from sequential:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -172,7 +172,7 @@ func resultFrom(sys *hier.System, c spec.Spec, elapsed time.Duration) *RunResult
 		L2PJ:         sys.ScaledL2TotalPJ(),
 		L3PJ:         sys.ScaledL3TotalPJ(),
 		DRAMPJ:       sys.ScaledDRAMPJ(),
-		EOUPJ:        sys.EOUPJ * float64(sys.SampleK()),
+		EOUPJ:        sys.EOUPJ() * float64(sys.SampleK()),
 		FullSystemPJ: sys.ScaledFullSystemPJ(),
 
 		L2Misses:          sys.ScaledL2Misses(true),
@@ -230,6 +230,11 @@ type Job struct {
 	// progress counts accesses already driven.
 	Total    uint64
 	progress atomic.Uint64
+
+	// sharded records whether the worker scheduled this job onto the
+	// intra-run sharded executor (shard count > 1); it feeds the
+	// slip_shard_runs_total metric on completion.
+	sharded bool
 }
 
 // JobView is the GET /v1/runs/{id} body (also returned by POST).

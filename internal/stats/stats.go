@@ -29,26 +29,38 @@ func (c *Counter) Value() uint64 { return c.n }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n = 0 }
 
+// energyUnitsPerPJ is the fixed-point scale of Energy: 1/65536 pJ per unit.
+// A uint64 of these units spans ~2.8e14 pJ (~280 J), far beyond any run,
+// while the quantization error stays below 2^-16 pJ per charged event.
+const energyUnitsPerPJ = 1 << 16
+
 // Energy accumulates picojoules. Keeping energy in a dedicated type avoids
-// accidentally mixing counts and energies in the accounting code.
+// accidentally mixing counts and energies in the accounting code. The
+// accumulator is a fixed-point integer (1/65536 pJ units), so sums are
+// exact and order-invariant: energies accumulated by independent shards of
+// one run merge into precisely the total a sequential run would compute,
+// regardless of accumulation order.
 type Energy struct {
-	pj float64
+	units uint64
 }
 
-// AddPJ adds pj picojoules.
-func (e *Energy) AddPJ(pj float64) { e.pj += pj }
+// AddPJ adds pj picojoules (rounded to the nearest 1/65536 pJ unit).
+func (e *Energy) AddPJ(pj float64) { e.units += uint64(pj*energyUnitsPerPJ + 0.5) }
+
+// Add folds another accumulator into this one, exactly.
+func (e *Energy) Add(o Energy) { e.units += o.units }
 
 // PJ returns the accumulated energy in picojoules.
-func (e *Energy) PJ() float64 { return e.pj }
+func (e *Energy) PJ() float64 { return float64(e.units) / energyUnitsPerPJ }
 
 // NJ returns the accumulated energy in nanojoules.
-func (e *Energy) NJ() float64 { return e.pj / 1e3 }
+func (e *Energy) NJ() float64 { return e.PJ() / 1e3 }
 
 // MJoulesMicro returns the accumulated energy in microjoules.
-func (e *Energy) MJoulesMicro() float64 { return e.pj / 1e6 }
+func (e *Energy) MJoulesMicro() float64 { return e.PJ() / 1e6 }
 
 // Reset zeroes the accumulator.
-func (e *Energy) Reset() { e.pj = 0 }
+func (e *Energy) Reset() { e.units = 0 }
 
 // Ratio returns a/b, or 0 when b is zero. It is the safe division used all
 // over the reporting code, where empty runs must not produce NaNs.

@@ -13,8 +13,11 @@ BIN="$(mktemp -d)/slipd"
 cd "$(dirname "$0")/.."
 go build -o "$BIN" ./cmd/slipd
 
+# -intra-parallelism 4 is explicit so the sharded-run assertion below holds
+# on any host: a job running alone is split over 4 set-sharded replicas
+# whose merged result is bit-identical to a sequential run.
 "$BIN" -addr "$ADDR" -accesses 20000 -warmup 20000 -queue 8 -store 16 \
-  -pprof-addr "$PPROF_ADDR" &
+  -intra-parallelism 4 -pprof-addr "$PPROF_ADDR" &
 PID=$!
 cleanup() { kill "$PID" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -47,11 +50,22 @@ echo "$BODY" | grep -q '"state":"completed"' || { echo "timed out: $BODY"; exit 
 echo "$BODY" | grep -q '"full_system_pj":[0-9]' || { echo "empty result: $BODY"; exit 1; }
 echo "job completed with a result"
 
+# The job ran alone on a daemon with -intra-parallelism 4, so it must have
+# executed on the intra-run sharded executor and been counted. (Capture the
+# body before grepping: grep -q exits on match, and pipefail would turn
+# curl's resulting SIGPIPE into a spurious failure.)
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -Eq '^slip_shard_runs_total [1-9]' || {
+  echo "sharded run not counted in /metrics"; exit 1
+}
+echo "sharded run confirmed via slip_shard_runs_total"
+
 # An identical POST must be served from the result store...
 CACHED=$(curl -fsS -X POST -d "$REQ" "$BASE/v1/runs")
 echo "$CACHED" | grep -q '"cached":true' || { echo "second POST not cached: $CACHED"; exit 1; }
 # ...and the cache-hit counter must observe it.
-curl -fsS "$BASE/metrics" | grep -q '^slipd_result_cache_hits_total 1$' || {
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^slipd_result_cache_hits_total 1$' || {
   echo "cache hit not visible in /metrics"; exit 1
 }
 echo "result store hit confirmed via /metrics"
@@ -138,7 +152,8 @@ echo "$SBODY" | grep -q '"sampling":8' || { echo "result lost the sampling facto
 echo "$SBODY" | grep -Eq '"sampled_accesses":[1-9]' || { echo "no sampled accesses reported: $SBODY"; exit 1; }
 echo "$SBODY" | grep -Eq '"skipped_accesses":[1-9]' || { echo "no skipped accesses reported: $SBODY"; exit 1; }
 echo "$SBODY" | grep -Eq '"full_system_pj":[0-9]' || { echo "sampled run has no extrapolated energy: $SBODY"; exit 1; }
-curl -fsS "$BASE/metrics" | grep -Eq '^slip_sampled_runs_total [1-9]' || {
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -Eq '^slip_sampled_runs_total [1-9]' || {
   echo "sampled run not counted in /metrics"; exit 1
 }
 echo "sampled run confirmed: distinct key, round-tripped factor, counted in /metrics"
